@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at
+*reproduction scale* (small synthetic traces, shortened episodes — see
+EXPERIMENTS.md) and prints the regenerated rows/series. Set
+``REPRO_BENCH_SCALE`` (a float, default 1.0) to enlarge all workloads, e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+
+Each experiment runs exactly once per benchmark (``rounds=1``): the measured
+quantity is the full experiment, not a microbenchmark.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    return max(minimum, int(value * bench_scale()))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

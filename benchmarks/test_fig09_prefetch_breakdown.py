@@ -1,0 +1,42 @@
+"""Figure 9: LLC misses and timely/late/wrong prefetch classification.
+
+Paper: Bandit strongly reduces LLC misses; its timely coverage (67 %) is
+between MLOP (63 %) and Pythia (72 %); BanditIdeal (no selection latency)
+is barely better than Bandit, showing the 500-cycle latency is negligible.
+We check those shapes. (Deviation note: at reproduction scale the bandit's
+round-robin exploration is a visible fraction of the run, so its *wrong*
+count is higher than the paper's fully-amortized measurement; see
+EXPERIMENTS.md.)
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import fig09_breakdown
+from repro.experiments.reporting import format_table
+from repro.workloads.suites import tune_specs
+
+
+def test_fig09_prefetch_breakdown(run_once):
+    result = run_once(
+        fig09_breakdown,
+        trace_length=scaled(10_000),
+        workloads=tune_specs()[: scaled(8)],
+    )
+    rows = [
+        (name, f"{m['llc_misses']:.3f}", f"{m['timely']:.3f}",
+         f"{m['late']:.3f}", f"{m['wrong']:.3f}")
+        for name, m in result.items()
+    ]
+    print()
+    print(format_table(
+        ["prefetcher", "LLC misses", "timely", "late", "wrong"], rows,
+        title="Figure 9: normalized to no-prefetch LLC misses",
+    ))
+    # Bandit reduces LLC misses substantially.
+    assert result["bandit"]["llc_misses"] < 0.7
+    # Useful (timely+late) prefetches dominate its traffic.
+    bandit = result["bandit"]
+    assert bandit["timely"] + bandit["late"] > bandit["wrong"]
+    # The 500-cycle selection latency is negligible: Bandit ≈ BanditIdeal.
+    ideal = result["bandit_ideal"]
+    assert abs(bandit["timely"] - ideal["timely"]) < 0.15

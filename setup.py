@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+All real metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works where the ``wheel`` package is unavailable and
+pip falls back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

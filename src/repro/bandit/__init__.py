@@ -1,0 +1,54 @@
+"""Multi-Armed Bandit algorithms and the Micro-Armed Bandit agent (§4, §5).
+
+The package follows the paper's structure:
+
+- :mod:`repro.bandit.base` — the general MAB template of Algorithm 1 (initial
+  round-robin phase + main loop) with the two microarchitecture-specific
+  modifications of §4.3: ``r_avg`` reward normalization and the probabilistic
+  round-robin restart for multi-core interference.
+- :mod:`repro.bandit.epsilon_greedy`, :mod:`repro.bandit.ucb`,
+  :mod:`repro.bandit.ducb` — the three algorithm variants of Table 3.
+- :mod:`repro.bandit.heuristics` — the non-MAB exploration baselines of §7.1
+  (*Single*, *Periodic*) and the *BestStatic* oracle policy.
+- :mod:`repro.bandit.hardware` — the Micro-Armed Bandit microarchitecture
+  model of §5: nTable/rTable storage, arm-selection latency, and the
+  counter-based IPC reward path of Figure 6.
+- :mod:`repro.bandit.rewards` — reward computation from hardware counters.
+- :mod:`repro.bandit.meta` — the two-level (hyperparameter-selecting) bandit
+  sketched as future work in §9.
+"""
+
+from repro.bandit.base import ArmEstimate, BanditConfig, MABAlgorithm
+from repro.bandit.contextual import (
+    AccessPatternClassifier,
+    ClassifierBandit,
+    ContextualBandit,
+)
+from repro.bandit.ducb import DUCB
+from repro.bandit.epsilon_greedy import EpsilonGreedy
+from repro.bandit.hardware import BanditHardwareModel, MicroArmedBandit
+from repro.bandit.heuristics import BestStatic, FixedArm, Periodic, Single
+from repro.bandit.meta import MetaBandit
+from repro.bandit.rewards import IPCReward, PerformanceCounters
+from repro.bandit.ucb import UCB
+
+__all__ = [
+    "AccessPatternClassifier",
+    "ArmEstimate",
+    "BanditConfig",
+    "ClassifierBandit",
+    "ContextualBandit",
+    "BanditHardwareModel",
+    "BestStatic",
+    "DUCB",
+    "EpsilonGreedy",
+    "FixedArm",
+    "IPCReward",
+    "MABAlgorithm",
+    "MetaBandit",
+    "MicroArmedBandit",
+    "Periodic",
+    "PerformanceCounters",
+    "Single",
+    "UCB",
+]

@@ -1,0 +1,218 @@
+"""General template for MAB algorithms (Algorithm 1) and shared state.
+
+Every algorithm proceeds in two phases:
+
+1. **Initial round-robin phase** — each of the ``M`` arms is tried once; its
+   reward estimate ``r_i`` is set to the observed step reward and its
+   selection count ``n_i`` to 1.
+2. **Main loop** — on every bandit step the algorithm picks an arm via
+   ``nextArm()``, updates selection counts via ``updSels(arm)``, and folds the
+   observed step reward in via ``updRew(r_step)`` (Table 3).
+
+Two microarchitecture-specific modifications from §4.3 are implemented here
+because they apply uniformly to all variants:
+
+- **Reward normalization.** After the round-robin phase the mean initial
+  reward ``r_avg`` is computed; the stored ``r_i`` and every subsequent
+  ``r_step`` are divided by it. This keeps the exploration constant ``c``
+  meaningful across benchmarks whose absolute IPC differs by orders of
+  magnitude.
+- **Round-robin restart.** With probability ``rr_restart_prob`` per step the
+  agent re-enters a round-robin sweep over all arms *without* resetting the
+  collected ``r_i``/``n_i``, giving each core a chance to re-evaluate arms
+  once co-running cores have settled (multi-core interference, §4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BanditConfig:
+    """Hyperparameters shared by the MAB algorithm variants.
+
+    Only the fields an algorithm uses are read by it: ``epsilon`` by
+    ε-Greedy, ``exploration_c`` by UCB/DUCB, ``gamma`` by DUCB, and
+    ``rr_restart_prob`` by all (Table 6 sets it only for 4-core runs).
+    """
+
+    num_arms: int
+    epsilon: float = 0.1
+    exploration_c: float = 0.04
+    gamma: float = 0.999
+    rr_restart_prob: float = 0.0
+    normalize_rewards: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_arms < 1:
+            raise ValueError(f"num_arms must be >= 1, got {self.num_arms}")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if self.exploration_c < 0.0:
+            raise ValueError(f"exploration_c must be >= 0, got {self.exploration_c}")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma}")
+        if not 0.0 <= self.rr_restart_prob <= 1.0:
+            raise ValueError(
+                f"rr_restart_prob must be in [0, 1], got {self.rr_restart_prob}"
+            )
+
+
+@dataclass
+class ArmEstimate:
+    """Per-arm bookkeeping: one nTable entry and one rTable entry (§5.1)."""
+
+    reward: float = 0.0
+    selections: float = 0.0
+
+
+class MABAlgorithm:
+    """Algorithm 1: initial round-robin phase followed by the main loop.
+
+    Subclasses implement the three Table 3 functions:
+
+    - :meth:`_next_arm` — pick the arm for the next step,
+    - :meth:`_upd_sels` — update selection counts for the chosen arm,
+    - :meth:`_upd_rew` — fold the (normalized) step reward into ``r_arm``.
+
+    The driving simulator interacts through two calls per bandit step::
+
+        arm = agent.select_arm()   # start of step: arm to apply
+        ...run the step...
+        agent.observe(r_step)      # end of step: reward observed
+    """
+
+    name = "mab"
+
+    def __init__(self, config: BanditConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.arms: List[ArmEstimate] = [
+            ArmEstimate() for _ in range(config.num_arms)
+        ]
+        self.n_total = 0.0
+        self._reward_scale: Optional[float] = None
+        self._initial_rewards: List[float] = []
+        # Pending sweep of arms to try round-robin. Starts as the full
+        # initial phase; §4.3 restarts push a fresh sweep here later.
+        self._rr_queue: List[int] = list(range(config.num_arms))
+        self._in_initial_phase = True
+        self._current_arm: Optional[int] = None
+        self._awaiting_reward = False
+        self.selection_history: List[int] = []
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def num_arms(self) -> int:
+        return self.config.num_arms
+
+    @property
+    def in_round_robin_phase(self) -> bool:
+        """True while the *initial* round-robin phase is still running.
+
+        The SMT use case lengthens the bandit step during this phase
+        (``bandit step-RR``, §5.3), so simulators need to observe it.
+        """
+        return self._in_initial_phase
+
+    def select_arm(self) -> int:
+        """Select the arm for the next bandit step."""
+        if self._awaiting_reward:
+            raise RuntimeError("select_arm() called before observe()")
+        if not self._rr_queue and not self._in_initial_phase:
+            self._maybe_restart_round_robin()
+        if self._rr_queue:
+            arm = self._rr_queue.pop(0)
+            if not self._in_initial_phase:
+                # §4.3 restart sweeps keep statistics: account the selection.
+                self._upd_sels(arm)
+        else:
+            arm = self._next_arm()
+            self._upd_sels(arm)
+        self._current_arm = arm
+        self._awaiting_reward = True
+        self.selection_history.append(arm)
+        return arm
+
+    def observe(self, r_step: float) -> None:
+        """Report the reward collected at the end of the bandit step."""
+        if not self._awaiting_reward or self._current_arm is None:
+            raise RuntimeError("observe() called before select_arm()")
+        arm = self._current_arm
+        self._awaiting_reward = False
+        if self._in_initial_phase:
+            self._initial_rewards.append(r_step)
+            entry = self.arms[arm]
+            entry.reward = r_step
+            entry.selections = 1.0
+            self.n_total += 1.0
+            if not self._rr_queue:
+                self._finish_initial_phase()
+            return
+        self._upd_rew(arm, self._normalize(r_step))
+
+    def best_arm(self) -> int:
+        """Arm with the highest current reward estimate (ties: lowest index)."""
+        best = 0
+        best_reward = self.arms[0].reward
+        for index, entry in enumerate(self.arms):
+            if entry.reward > best_reward:
+                best = index
+                best_reward = entry.reward
+        return best
+
+    def reward_estimates(self) -> List[float]:
+        return [entry.reward for entry in self.arms]
+
+    def selection_counts(self) -> List[float]:
+        return [entry.selections for entry in self.arms]
+
+    # ----------------------------------------------------- template internals
+
+    def _finish_initial_phase(self) -> None:
+        self._in_initial_phase = False
+        if self.config.normalize_rewards:
+            r_avg = sum(self._initial_rewards) / len(self._initial_rewards)
+            # A degenerate all-zero initial phase (e.g. a stalled core) would
+            # make the scale meaningless; fall back to no normalization.
+            self._reward_scale = r_avg if r_avg > 0.0 else None
+            if self._reward_scale is not None:
+                for entry in self.arms:
+                    entry.reward /= self._reward_scale
+
+    def _normalize(self, r_step: float) -> float:
+        if self._reward_scale is None:
+            return r_step
+        return r_step / self._reward_scale
+
+    def _maybe_restart_round_robin(self) -> None:
+        prob = self.config.rr_restart_prob
+        if prob > 0.0 and self._rng.random() < prob:
+            self._rr_queue = list(range(self.config.num_arms))
+
+    # ------------------------------------------------ Table 3 hook functions
+
+    def _next_arm(self) -> int:
+        raise NotImplementedError
+
+    def _upd_sels(self, arm: int) -> None:
+        raise NotImplementedError
+
+    def _upd_rew(self, arm: int, r_step: float) -> None:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+
+    def _argmax(self, scores: Sequence[float]) -> int:
+        best = 0
+        best_score = scores[0]
+        for index in range(1, len(scores)):
+            if scores[index] > best_score:
+                best = index
+                best_score = scores[index]
+        return best

@@ -1,0 +1,187 @@
+"""Contextual bandit agent (§2.2's middle problem formulation).
+
+The paper positions Contextual Bandits between MDP-RL and plain MABs:
+state transitions happen but are not caused by the agent; the agent keeps
+one value estimate per (context, arm) pair. This module provides a
+:class:`ContextualBandit` that runs one :class:`~repro.bandit.ducb.DUCB`
+(or any MAB) per context, plus the §9 extension built on it:
+:class:`ClassifierBandit`, which classifies memory-access patterns online
+(stream / stride / irregular, in the spirit of [6, 48]) and keeps a
+separate Micro-Armed Bandit per pattern class.
+
+Storage cost scales with the number of contexts — exactly the complexity
+axis Figure 1 illustrates — so the context spaces here are tiny (a handful
+of classes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.bandit.base import BanditConfig, MABAlgorithm
+from repro.bandit.ducb import DUCB
+
+
+class ContextualBandit:
+    """One independent MAB per observed context.
+
+    ``algorithm_factory(context)`` builds the per-context learner lazily;
+    ``max_contexts`` bounds storage with LRU eviction of stale contexts.
+    """
+
+    name = "contextual"
+
+    def __init__(
+        self,
+        num_arms: int,
+        algorithm_factory: Optional[Callable[[Hashable], MABAlgorithm]] = None,
+        max_contexts: int = 64,
+    ) -> None:
+        if num_arms < 1:
+            raise ValueError(f"num_arms must be >= 1, got {num_arms}")
+        if max_contexts < 1:
+            raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
+        self.num_arms = num_arms
+        if algorithm_factory is None:
+            algorithm_factory = lambda context: DUCB(  # noqa: E731
+                BanditConfig(num_arms=num_arms, gamma=0.98,
+                             exploration_c=0.04,
+                             seed=hash(context) & 0xFFFF)
+            )
+        self._factory = algorithm_factory
+        self.max_contexts = max_contexts
+        self._learners: "OrderedDict[Hashable, MABAlgorithm]" = OrderedDict()
+        self._active_context: Optional[Hashable] = None
+
+    def _learner(self, context: Hashable) -> MABAlgorithm:
+        learner = self._learners.get(context)
+        if learner is None:
+            if len(self._learners) >= self.max_contexts:
+                self._learners.popitem(last=False)
+            learner = self._factory(context)
+            if learner.num_arms != self.num_arms:
+                raise ValueError("factory produced mismatched arm count")
+            self._learners[context] = learner
+        else:
+            self._learners.move_to_end(context)
+        return learner
+
+    def select_arm(self, context: Hashable) -> int:
+        """Pick an arm for the given context."""
+        if self._active_context is not None:
+            raise RuntimeError("observe() must be called before reselecting")
+        self._active_context = context
+        return self._learner(context).select_arm()
+
+    def observe(self, r_step: float) -> None:
+        """Report the reward for the most recent selection."""
+        if self._active_context is None:
+            raise RuntimeError("observe() called before select_arm()")
+        self._learners[self._active_context].observe(r_step)
+        self._active_context = None
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self._learners)
+
+    def storage_bytes(self) -> int:
+        """8 B per arm per live context (§5.4 accounting per learner)."""
+        return self.num_contexts * self.num_arms * 8
+
+
+class AccessPatternClassifier:
+    """Online stream/stride/irregular classification of the demand stream.
+
+    A tiny per-PC table tracks the last block and last delta; the aggregate
+    class over a window of accesses labels the current phase:
+
+    - ``stream``   — deltas mostly ±1 block,
+    - ``stride``   — deltas mostly a repeated non-unit constant,
+    - ``irregular``— neither.
+    """
+
+    CLASSES = ("stream", "stride", "irregular")
+
+    def __init__(self, window: int = 256, table_capacity: int = 64) -> None:
+        self.window = window
+        self.table_capacity = table_capacity
+        self._last: "OrderedDict[int, tuple]" = OrderedDict()
+        self._votes = {"stream": 0, "stride": 0, "irregular": 0}
+        self._count = 0
+        self.current_class = "irregular"
+
+    def observe(self, pc: int, block: int) -> str:
+        """Classify one access; returns the class of the current window."""
+        entry = self._last.get(pc)
+        if entry is None:
+            if len(self._last) >= self.table_capacity:
+                self._last.popitem(last=False)
+            self._last[pc] = (block, 0)
+            label = "irregular"
+        else:
+            last_block, last_delta = entry
+            delta = block - last_block
+            if abs(delta) == 1:
+                label = "stream"
+            elif delta != 0 and delta == last_delta:
+                label = "stride"
+            else:
+                label = "irregular"
+            self._last[pc] = (block, delta)
+            self._last.move_to_end(pc)
+        self._votes[label] += 1
+        self._count += 1
+        if self._count >= self.window:
+            self.current_class = max(self._votes, key=self._votes.get)
+            self._votes = {"stream": 0, "stride": 0, "irregular": 0}
+            self._count = 0
+        return self.current_class
+
+
+class ClassifierBandit:
+    """§9 extension: a separate Bandit per classified access-pattern type.
+
+    The classifier labels the current phase from the demand stream; arm
+    selection and reward attribution go to the label's dedicated learner.
+    """
+
+    name = "classifier_bandit"
+
+    def __init__(
+        self,
+        num_arms: int,
+        classifier: Optional[AccessPatternClassifier] = None,
+        seed: int = 0,
+    ) -> None:
+        self.classifier = classifier or AccessPatternClassifier()
+        self.contextual = ContextualBandit(
+            num_arms,
+            algorithm_factory=lambda context: DUCB(
+                BanditConfig(num_arms=num_arms, gamma=0.98,
+                             exploration_c=0.04,
+                             seed=seed + hash(context) % 997)
+            ),
+            max_contexts=len(AccessPatternClassifier.CLASSES),
+        )
+        self.num_arms = num_arms
+        self.selection_history: List[int] = []
+
+    def observe_access(self, pc: int, block: int) -> str:
+        """Feed one demand access into the classifier."""
+        return self.classifier.observe(pc, block)
+
+    def select_arm(self) -> int:
+        arm = self.contextual.select_arm(self.classifier.current_class)
+        self.selection_history.append(arm)
+        return arm
+
+    def observe(self, r_step: float) -> None:
+        self.contextual.observe(r_step)
+
+    @property
+    def in_round_robin_phase(self) -> bool:
+        return False  # per-class learners manage their own RR phases
+
+    def storage_bytes(self) -> int:
+        return self.contextual.storage_bytes()

@@ -1,0 +1,33 @@
+"""Discounted Upper Confidence Bound bandit (Table 3, column c).
+
+DUCB shares ``nextArm`` and ``updRew`` with UCB but discounts *all* selection
+counts by ``γ < 1`` in ``updSels`` before incrementing the chosen arm::
+
+    for all i:  n_i ← γ * n_i
+    n_arm ← n_arm + 1
+
+γ acts as a forgetting factor: the counts of rarely selected arms decay, so
+their exploration bonus grows and they are eventually retried — which is what
+lets DUCB track the phase changes of non-stationary microarchitectural
+environments (§4.2c, Figure 7's mcf example).
+"""
+
+from __future__ import annotations
+
+from repro.bandit.base import BanditConfig
+from repro.bandit.ucb import UCB
+
+
+class DUCB(UCB):
+    """Discounted UCB — the algorithm Micro-Armed Bandit implements (§5)."""
+
+    name = "ducb"
+
+    def _upd_sels(self, arm: int) -> None:
+        gamma = self.config.gamma
+        total = 0.0
+        for entry in self.arms:
+            entry.selections *= gamma
+            total += entry.selections
+        self.arms[arm].selections += 1.0
+        self.n_total = total + 1.0

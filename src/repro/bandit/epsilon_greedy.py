@@ -1,0 +1,32 @@
+"""ε-Greedy bandit (Table 3, column a).
+
+``nextArm`` exploits the best-known arm with probability ``1 - ε`` and picks
+a uniformly random arm otherwise. Exploration is randomized and
+non-decaying — the two shortcomings §4.2 motivates UCB with.
+"""
+
+from __future__ import annotations
+
+from repro.bandit.base import BanditConfig, MABAlgorithm
+
+
+class EpsilonGreedy(MABAlgorithm):
+    """ε-Greedy action selection over a flat action space."""
+
+    name = "epsilon_greedy"
+
+    def __init__(self, config: BanditConfig) -> None:
+        super().__init__(config)
+
+    def _next_arm(self) -> int:
+        if self._rng.random() < self.config.epsilon:
+            return self._rng.randrange(self.config.num_arms)
+        return self._argmax([entry.reward for entry in self.arms])
+
+    def _upd_sels(self, arm: int) -> None:
+        self.arms[arm].selections += 1.0
+        self.n_total += 1.0
+
+    def _upd_rew(self, arm: int, r_step: float) -> None:
+        entry = self.arms[arm]
+        entry.reward += (r_step - entry.reward) / entry.selections

@@ -1,0 +1,141 @@
+"""Micro-Armed Bandit hardware model (§5.1, §5.4).
+
+:class:`MicroArmedBandit` wraps a :class:`~repro.bandit.base.MABAlgorithm`
+with the structures of Figure 6 — the nTable and rTable, the counter-driven
+IPC reward path, and the arm-selection latency — plus the storage accounting
+used in §5.4/§6.5.
+
+The paper's latency analysis distinguishes a *naive* design that computes all
+arm potentials on the critical path (~500 cycles for 11 arms) from an
+*advanced* design that precomputes everything except the in-flight arm
+(~50 cycles); the evaluation conservatively charges 500 cycles. During those
+cycles the controlled unit keeps running with the previously selected arm,
+so in simulation the latency only delays when the new arm takes effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bandit.base import MABAlgorithm
+from repro.bandit.rewards import IPCReward, PerformanceCounters
+
+#: Storage per arm: one single-precision float reward (rTable) plus one
+#: unsigned-int selection count (nTable) — 8 bytes total (§5.4).
+BYTES_PER_ARM = 8
+
+#: Conservative latencies from §5.4 assuming a single non-pipelined
+#: arithmetic unit with 20-cycle divide and square root.
+SQRT_LATENCY_CYCLES = 20
+DIV_LATENCY_CYCLES = 20
+MUL_LATENCY_CYCLES = 4
+ADD_LATENCY_CYCLES = 2
+TABLE_READ_LATENCY_CYCLES = 1
+
+
+@dataclass(frozen=True)
+class BanditHardwareModel:
+    """Analytic latency/storage model of the agent's microarchitecture."""
+
+    num_arms: int
+
+    def storage_bytes(self) -> int:
+        """Total nTable + rTable storage."""
+        return self.num_arms * BYTES_PER_ARM
+
+    def per_arm_potential_latency(self) -> int:
+        """Cycles to compute one arm potential (ln(n_total) amortized)."""
+        return (
+            2 * TABLE_READ_LATENCY_CYCLES  # nTable + rTable reads
+            + DIV_LATENCY_CYCLES  # ln(n_total) / n_i
+            + SQRT_LATENCY_CYCLES
+            + MUL_LATENCY_CYCLES  # c * sqrt(...)
+            + ADD_LATENCY_CYCLES  # r_i + bonus
+        )
+
+    def naive_selection_latency(self) -> int:
+        """Sequentially compute every arm potential on the critical path."""
+        return self.num_arms * self.per_arm_potential_latency()
+
+    def advanced_selection_latency(self) -> int:
+        """Only the in-flight arm's potential is on the critical path.
+
+        The potentials of all other arms (and the best among them) are
+        computed in the background while the step is still running.
+        """
+        compare_and_pick = ADD_LATENCY_CYCLES
+        finish_reward_update = DIV_LATENCY_CYCLES + ADD_LATENCY_CYCLES
+        return (
+            finish_reward_update
+            + self.per_arm_potential_latency()
+            + compare_and_pick
+        )
+
+
+class MicroArmedBandit:
+    """The Bandit agent: algorithm + counters + latency, as driven by a core.
+
+    A simulator drives the agent with::
+
+        arm = bandit.begin_step()              # arm to apply this step
+        ...simulate one bandit step...
+        bandit.end_step(counters, now_cycles)  # counters at the boundary
+
+    ``active_arm(cycle)`` accounts for the selection latency: until
+    ``selection_ready_cycle`` the previously selected arm remains in effect
+    (§6.1: "the prefetcher and the SMT scheduler do not stall but continue
+    operating with the previously selected arm").
+    """
+
+    def __init__(
+        self,
+        algorithm: MABAlgorithm,
+        selection_latency_cycles: int = 500,
+    ) -> None:
+        self.algorithm = algorithm
+        self.selection_latency_cycles = selection_latency_cycles
+        self.hardware = BanditHardwareModel(algorithm.num_arms)
+        self._reward = IPCReward()
+        self._current_arm: int | None = None
+        self._previous_arm: int | None = None
+        self.selection_ready_cycle = 0.0
+        self.steps_completed = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def num_arms(self) -> int:
+        return self.algorithm.num_arms
+
+    @property
+    def in_round_robin_phase(self) -> bool:
+        return self.algorithm.in_round_robin_phase
+
+    def storage_bytes(self) -> int:
+        return self.hardware.storage_bytes()
+
+    def reset_counters(self, counters: PerformanceCounters) -> None:
+        """Snapshot counters at episode start (before the first step)."""
+        self._reward.reset(counters)
+
+    def begin_step(self, now_cycle: float = 0.0) -> int:
+        """Select the arm to apply for the upcoming bandit step."""
+        self._previous_arm = self._current_arm
+        self._current_arm = self.algorithm.select_arm()
+        self.selection_ready_cycle = now_cycle + self.selection_latency_cycles
+        return self._current_arm
+
+    def active_arm(self, cycle: float) -> int:
+        """Arm actually in effect at ``cycle``, modeling selection latency."""
+        if self._current_arm is None:
+            raise RuntimeError("begin_step() has not been called")
+        if cycle < self.selection_ready_cycle and self._previous_arm is not None:
+            return self._previous_arm
+        return self._current_arm
+
+    def end_step(self, counters: PerformanceCounters) -> float:
+        """Close the step: compute the IPC reward and train the algorithm."""
+        reward = self._reward.step_reward(counters)
+        self.algorithm.observe(reward)
+        self.steps_completed += 1
+        return reward

@@ -1,0 +1,134 @@
+"""Non-MAB exploration heuristics evaluated in §7.1.
+
+- :class:`Single` stops exploring after the initial round-robin phase and
+  keeps whichever arm looked best during it.
+- :class:`Periodic` alternates periodic round-robin exploration sweeps with
+  exploitation of the best arm, smoothing rewards with a moving-average
+  buffer in the style of the POWER7 adaptive prefetcher [38].
+- :class:`FixedArm` always plays one externally chosen arm. Combined with the
+  :func:`repro.experiments` sweep helpers it realizes the *BestStatic* oracle
+  of Tables 8/9 and Figure 7; :class:`BestStatic` is an alias kept for API
+  symmetry with the paper's terminology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.bandit.base import BanditConfig, MABAlgorithm
+
+
+class Single(MABAlgorithm):
+    """Explore once (initial round-robin), then exploit forever."""
+
+    name = "single"
+
+    def _next_arm(self) -> int:
+        return self.best_arm()
+
+    def _upd_sels(self, arm: int) -> None:
+        self.arms[arm].selections += 1.0
+        self.n_total += 1.0
+
+    def _upd_rew(self, arm: int, r_step: float) -> None:
+        # Single never revises its estimates after the initial phase: a
+        # one-shot decision is exactly its failure mode (Table 8's min row).
+        pass
+
+
+class Periodic(MABAlgorithm):
+    """Alternate round-robin exploration sweeps and exploitation phases.
+
+    Every ``period`` steps a full sweep over all arms is scheduled. Observed
+    rewards enter a per-arm moving-average buffer of length
+    ``buffer_length``; the exploited arm is the one with the best buffered
+    average.
+    """
+
+    name = "periodic"
+
+    def __init__(
+        self,
+        config: BanditConfig,
+        period: int = 50,
+        buffer_length: int = 4,
+    ) -> None:
+        super().__init__(config)
+        if period < config.num_arms:
+            raise ValueError(
+                f"period ({period}) must cover one sweep of {config.num_arms} arms"
+            )
+        if buffer_length < 1:
+            raise ValueError(f"buffer_length must be >= 1, got {buffer_length}")
+        self.period = period
+        self.buffer_length = buffer_length
+        self._buffers: Dict[int, Deque[float]] = {
+            arm: deque(maxlen=buffer_length) for arm in range(config.num_arms)
+        }
+        self._steps_since_sweep = 0
+        self._pending_sweep: List[int] = []
+
+    def _next_arm(self) -> int:
+        if self._pending_sweep:
+            return self._pending_sweep.pop(0)
+        self._steps_since_sweep += 1
+        if self._steps_since_sweep >= self.period:
+            self._steps_since_sweep = 0
+            self._pending_sweep = list(range(self.config.num_arms))
+            return self._pending_sweep.pop(0)
+        return self._best_buffered_arm()
+
+    def _best_buffered_arm(self) -> int:
+        best = 0
+        best_score = float("-inf")
+        for arm in range(self.config.num_arms):
+            buffer = self._buffers[arm]
+            if buffer:
+                score = sum(buffer) / len(buffer)
+            else:
+                score = self.arms[arm].reward
+            if score > best_score:
+                best = arm
+                best_score = score
+        return best
+
+    def _upd_sels(self, arm: int) -> None:
+        self.arms[arm].selections += 1.0
+        self.n_total += 1.0
+
+    def _upd_rew(self, arm: int, r_step: float) -> None:
+        self._buffers[arm].append(r_step)
+        entry = self.arms[arm]
+        entry.reward += (r_step - entry.reward) / entry.selections
+
+
+class FixedArm(MABAlgorithm):
+    """Always play one arm — the building block of the BestStatic oracle."""
+
+    name = "fixed"
+
+    def __init__(self, config: BanditConfig, arm: int) -> None:
+        super().__init__(config)
+        if not 0 <= arm < config.num_arms:
+            raise ValueError(f"arm {arm} out of range [0, {config.num_arms})")
+        self.fixed_arm = arm
+        # No exploration at all: skip the initial round-robin phase.
+        self._rr_queue = []
+        self._in_initial_phase = False
+
+    def _next_arm(self) -> int:
+        return self.fixed_arm
+
+    def _upd_sels(self, arm: int) -> None:
+        self.arms[arm].selections += 1.0
+        self.n_total += 1.0
+
+    def _upd_rew(self, arm: int, r_step: float) -> None:
+        entry = self.arms[arm]
+        entry.reward += (r_step - entry.reward) / entry.selections
+
+
+#: Alias matching the paper's "Best Static" terminology. The oracle itself is
+#: a sweep over :class:`FixedArm` runs (see ``repro.experiments``).
+BestStatic = FixedArm

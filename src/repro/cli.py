@@ -1,0 +1,240 @@
+"""Command-line interface: regenerate any paper experiment from the shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig08 --trace-length 20000
+    python -m repro.cli table08 --trace-length 15000 --workloads 8
+    python -m repro.cli fig13 --mixes 10 --epochs 400
+    python -m repro.cli sec65
+
+Each subcommand prints the regenerated table/series in the same format as
+the benchmark harness. This exists so downstream users can reproduce a
+single figure without running pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict
+
+import repro.experiments.figures as figures
+from repro.experiments.reporting import format_summary_table, format_table
+from repro.experiments.smt import SMTScale
+from repro.workloads.suites import tune_specs
+
+
+def _smt_scale(args: argparse.Namespace) -> SMTScale:
+    return SMTScale(
+        epoch_cycles=args.epoch_cycles,
+        total_epochs=args.epochs,
+        step_epochs=2,
+        step_epochs_rr=2,
+    )
+
+
+def _cmd_fig02(args):
+    result = figures.fig02_pythia_homogeneity(trace_length=args.trace_length)
+    rows = [(name, f"{a:.2f}", f"{b:.2f}") for name, (a, b) in result.items()]
+    print(format_table(["workload", "top1", "top2"], rows,
+                       title="Figure 2"))
+
+
+def _cmd_fig05(args):
+    result = figures.fig05_pg_policy_range(num_mixes=args.mixes,
+                                           scale=_smt_scale(args))
+    rows = [(r["mix"], r["best_policy"], f"{r['best_vs_choi']:.2f}",
+             f"{r['worst_vs_choi']:.2f}") for r in result]
+    print(format_table(["mix", "best policy", "best/Choi", "worst/Choi"],
+                       rows, title="Figure 5"))
+
+
+def _cmd_table08(args):
+    result = figures.table08_prefetch_tuneset(
+        trace_length=args.trace_length,
+        workloads=tune_specs()[: args.workloads],
+    )
+    print(format_summary_table(result, title="Table 8"))
+
+
+def _cmd_table09(args):
+    result = figures.table09_smt_tuneset(num_mixes=args.mixes,
+                                         scale=_smt_scale(args))
+    print(format_summary_table(result, title="Table 9"))
+
+
+def _cmd_fig08(args):
+    result = figures.fig08_singlecore(trace_length=args.trace_length)
+    _print_suite_table(result, "Figure 8")
+
+
+def _cmd_fig11(args):
+    result = figures.fig11_alt_hierarchy(trace_length=args.trace_length)
+    _print_suite_table(result, "Figure 11")
+
+
+def _print_suite_table(result, title):
+    names = ["stride", "bingo", "mlop", "pythia", "bandit"]
+    rows = [[suite] + [f"{result[suite][name]:.3f}" for name in names]
+            for suite in result]
+    print(format_table(["suite"] + names, rows, title=title))
+
+
+def _cmd_fig09(args):
+    result = figures.fig09_breakdown(
+        trace_length=args.trace_length,
+        workloads=tune_specs()[: args.workloads],
+    )
+    rows = [(name, f"{m['llc_misses']:.3f}", f"{m['timely']:.3f}",
+             f"{m['late']:.3f}", f"{m['wrong']:.3f}")
+            for name, m in result.items()]
+    print(format_table(["prefetcher", "LLC misses", "timely", "late",
+                        "wrong"], rows, title="Figure 9"))
+
+
+def _cmd_fig10(args):
+    result = figures.fig10_bandwidth_sweep(
+        trace_length=args.trace_length,
+        workloads=tune_specs()[: args.workloads],
+    )
+    rows = [(f"{int(m)} MTPS", f"{v['pythia']:.3f}", f"{v['bandit']:.3f}")
+            for m, v in sorted(result.items())]
+    print(format_table(["bandwidth", "pythia", "bandit"], rows,
+                       title="Figure 10"))
+
+
+def _cmd_fig12(args):
+    result = figures.fig12_multilevel(
+        trace_length=args.trace_length,
+        workloads=tune_specs()[: args.workloads],
+    )
+    rows = [(name, f"{value:.3f}") for name, value in result.items()]
+    print(format_table(["configuration", "gmean"], rows, title="Figure 12"))
+
+
+def _cmd_fig13(args):
+    result = figures.fig13_smt_bandit_vs_choi(num_mixes=args.mixes,
+                                              scale=_smt_scale(args))
+    print(format_table(
+        ["metric", "value"],
+        [("gmean vs Choi", f"{result['gmean_vs_choi']:.3f}"),
+         ("gmean vs ICount", f"{result['gmean_vs_icount']:.3f}"),
+         ("wins > 4%", result["wins_over_4pct"]),
+         ("losses > 4%", result["losses_over_4pct"]),
+         ("ratios", " ".join(f"{r:.2f}" for r in result["ratios_sorted"]))],
+        title="Figure 13",
+    ))
+
+
+def _cmd_fig14(args):
+    result = figures.fig14_fourcore(trace_length=args.trace_length,
+                                    max_mixes=args.workloads)
+    rows = [(name, f"{value:.3f}") for name, value in result.items()]
+    print(format_table(["prefetcher", "gmean"], rows, title="Figure 14"))
+
+
+def _cmd_fig15(args):
+    result = figures.fig15_rename_activity(num_mixes=args.mixes,
+                                           scale=_smt_scale(args))
+    keys = ["rob_full", "iq_full", "lq_full", "sq_full", "rf_full",
+            "stalled_any", "idle", "running"]
+    rows = [[name] + [f"{m[k]:.3f}" for k in keys]
+            for name, m in result.items()]
+    print(format_table(["policy"] + keys, rows, title="Figure 15"))
+
+
+def _cmd_sec65(args):
+    print(json.dumps(figures.sec65_area_power(), indent=2))
+
+
+def _cmd_traces(args):
+    """Materialize the synthetic suite to disk as .trace.gz files."""
+    from pathlib import Path
+
+    from repro.workloads.suites import eval_specs
+    from repro.workloads.trace import write_trace
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for spec in eval_specs():
+        path = out_dir / f"{spec.suite}.{spec.name}.trace.gz"
+        count = write_trace(spec.trace(args.trace_length, seed=0), path)
+        print(f"wrote {count} records to {path}")
+
+
+COMMANDS: Dict[str, Callable] = {
+    "fig02": _cmd_fig02,
+    "fig05": _cmd_fig05,
+    "table08": _cmd_table08,
+    "table09": _cmd_table09,
+    "fig07": None,  # filled below
+    "fig08": _cmd_fig08,
+    "fig09": _cmd_fig09,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "fig14": _cmd_fig14,
+    "fig15": _cmd_fig15,
+    "sec65": _cmd_sec65,
+}
+
+
+def _cmd_fig07(args):
+    result = figures.fig07_exploration_traces(
+        trace_length=args.trace_length, scale=_smt_scale(args)
+    )
+    rows = []
+    for scenario, algorithms in result.items():
+        for name, data in algorithms.items():
+            rows.append((scenario, name, f"{data['ipc']:.3f}",
+                         len(data["arms"]), len(set(data["arms"]))))
+    print(format_table(["scenario", "algorithm", "ipc", "steps",
+                        "distinct"], rows, title="Figure 7"))
+
+
+COMMANDS["fig07"] = _cmd_fig07
+COMMANDS["traces"] = _cmd_traces
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate Micro-Armed Bandit paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name in COMMANDS:
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--trace-length", type=int, default=10_000,
+                         help="memory accesses per trace (prefetch cases)")
+        cmd.add_argument("--workloads", type=int, default=8,
+                         help="number of workloads/mixes where applicable")
+        cmd.add_argument("--mixes", type=int, default=6,
+                         help="number of SMT mixes where applicable")
+        cmd.add_argument("--epochs", type=int, default=300,
+                         help="SMT episode length in HC epochs")
+        cmd.add_argument("--epoch-cycles", type=int, default=500,
+                         help="cycles per Hill-Climbing epoch")
+        if name == "traces":
+            cmd.add_argument("--output-dir", default="traces",
+                             help="directory to write .trace.gz files into")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print("available experiments:")
+        for name in COMMANDS:
+            print(f"  {name}")
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Trace-driven out-of-order core timing model (ChampSim-style substrate)."""
+
+from repro.core_model.multicore import MulticoreSystem
+from repro.core_model.trace_core import CoreConfig, TraceCore
+
+__all__ = ["CoreConfig", "MulticoreSystem", "TraceCore"]

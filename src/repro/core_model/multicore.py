@@ -1,0 +1,100 @@
+"""Multi-core wrapper: N trace cores over a shared LLC and DRAM channel.
+
+Cores advance in interleaved order — at every step the core whose local
+clock is furthest behind executes its next record — so shared-resource
+contention (LLC capacity, DRAM bandwidth) is resolved in approximately
+global time order, which is what creates the inter-core interference the
+§4.3 round-robin restart targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.core_model.trace_core import CoreConfig, TraceCore
+from repro.uncore.cache import Cache
+from repro.uncore.dram import DRAMModel
+from repro.uncore.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.prefetch.base import Prefetcher
+from repro.workloads.trace import TraceRecord
+
+
+class MulticoreSystem:
+    """N private L1/L2 hierarchies sharing one LLC and one DRAM channel."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: HierarchyConfig = HierarchyConfig(),
+        core_config: CoreConfig = CoreConfig(),
+        l2_prefetchers: Optional[Sequence[Optional[Prefetcher]]] = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        if l2_prefetchers is None:
+            l2_prefetchers = [None] * num_cores
+        if len(l2_prefetchers) != num_cores:
+            raise ValueError("need one prefetcher slot per core")
+        self.num_cores = num_cores
+        # The paper sizes the LLC per core (2 MB/core, Table 4).
+        self.shared_llc = Cache(
+            "LLC",
+            config.llc_size_bytes * num_cores,
+            config.llc_ways,
+            config.block_bytes,
+        )
+        self.shared_dram = DRAMModel(
+            latency_cycles=config.dram_latency,
+            mtps=config.dram_mtps,
+            core_frequency_ghz=config.core_frequency_ghz,
+        )
+        self.hierarchies: List[CacheHierarchy] = []
+        self.cores: List[TraceCore] = []
+        for index in range(num_cores):
+            hierarchy = CacheHierarchy(
+                config,
+                l2_prefetcher=l2_prefetchers[index],
+                shared_llc=self.shared_llc,
+                shared_dram=self.shared_dram,
+            )
+            self.hierarchies.append(hierarchy)
+            self.cores.append(TraceCore(hierarchy, core_config, f"core{index}"))
+
+    def run(
+        self,
+        traces: Sequence[Sequence[TraceRecord]],
+        per_record_hook: Optional[Callable[[int, TraceCore], None]] = None,
+    ) -> None:
+        """Interleave the traces across cores until all are consumed.
+
+        ``per_record_hook(core_index, core)`` fires after each record —
+        experiment runners use it to drive per-core Bandit agents.
+        """
+        if len(traces) != self.num_cores:
+            raise ValueError(
+                f"need {self.num_cores} traces, got {len(traces)}"
+            )
+        positions = [0] * self.num_cores
+        lengths = [len(trace) for trace in traces]
+        active = [length > 0 for length in lengths]
+        while any(active):
+            # Pick the laggard core so shared-resource access stays roughly
+            # ordered in global time.
+            core_index = min(
+                (index for index in range(self.num_cores) if active[index]),
+                key=lambda index: self.cores[index].retire_time,
+            )
+            record = traces[core_index][positions[core_index]]
+            self.cores[core_index].execute(record)
+            positions[core_index] += 1
+            if positions[core_index] >= lengths[core_index]:
+                active[core_index] = False
+            if per_record_hook is not None:
+                per_record_hook(core_index, self.cores[core_index])
+        for hierarchy in self.hierarchies:
+            hierarchy.finalize()
+
+    def total_ipc(self) -> float:
+        """Sum of per-core IPCs — the 4-core metric of §6.4."""
+        return sum(core.ipc for core in self.cores)

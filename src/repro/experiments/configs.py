@@ -1,0 +1,132 @@
+"""The paper's configuration tables as code.
+
+- Table 4 — CPU/cache parameters for the prefetching experiments
+  (:data:`BASELINE_HIERARCHY_CONFIG`; the Figure 11 variant is
+  :data:`ALT_HIERARCHY_CONFIG`).
+- Table 5 — SMT pipeline parameters (:data:`SMT_CONFIG_TABLE5`).
+- Table 6 — Bandit hyperparameters for both use cases.
+- Table 7 — the 11 prefetching arms (re-exported from the ensemble).
+
+Cycle-scale note: the paper simulates 1 B instructions per trace and 64k-
+cycle Hill-Climbing epochs; the Python substrate uses proportionally smaller
+defaults (recorded in EXPERIMENTS.md). The *structure* of every experiment —
+step lengths measured in L2 accesses or epochs, arm sets, γ/c values — is
+taken from Table 6 unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bandit.base import BanditConfig
+from repro.bandit.ducb import DUCB
+from repro.core_model.trace_core import CoreConfig
+from repro.prefetch.ensemble import TABLE7_ARMS
+from repro.smt.hill_climbing import HillClimbingConfig
+from repro.smt.pipeline import SMTConfig
+from repro.uncore.hierarchy import HierarchyConfig
+
+#: Table 4: Skylake-like core with 256 KB L2 and 2 MB LLC/core.
+BASELINE_HIERARCHY_CONFIG = HierarchyConfig(
+    l1_size_bytes=32 * 1024,
+    l1_ways=8,
+    l2_size_bytes=256 * 1024,
+    l2_ways=8,
+    llc_size_bytes=2 * 1024 * 1024,
+    llc_ways=16,
+    dram_mtps=2400.0,
+    core_frequency_ghz=4.0,
+)
+
+#: §7.2.2 alternative hierarchy: L2 = 1 MB, LLC = 1.5 MB per core.
+ALT_HIERARCHY_CONFIG = HierarchyConfig(
+    l1_size_bytes=32 * 1024,
+    l1_ways=8,
+    l2_size_bytes=1024 * 1024,
+    l2_ways=16,
+    llc_size_bytes=1536 * 1024,
+    llc_ways=12,
+    dram_mtps=2400.0,
+    core_frequency_ghz=4.0,
+)
+
+#: Table 4 core parameters.
+CORE_CONFIG_TABLE4 = CoreConfig(rob_size=256, commit_width=4, dispatch_width=6)
+
+#: Table 5: SMT pipeline parameters.
+SMT_CONFIG_TABLE5 = SMTConfig(
+    fetch_width=5,
+    decode_width=5,
+    issue_width=8,
+    commit_width=8,
+    iq_size=97,
+    rob_size=224,
+    lq_size=72,
+    sq_size=56,
+    irf_size=180,
+)
+
+#: The 11 prefetching arms of Table 7.
+PREFETCH_ARMS = TABLE7_ARMS
+
+
+@dataclass(frozen=True)
+class PrefetchBanditParams:
+    """Table 6, data-prefetching column."""
+
+    gamma: float = 0.999
+    exploration_c: float = 0.04
+    num_arms: int = len(TABLE7_ARMS)
+    step_l2_accesses: int = 1000
+    num_stream_trackers: int = 64
+    num_stride_trackers: int = 64
+    rr_restart_prob_multicore: float = 0.001
+    selection_latency_cycles: int = 500
+
+
+PREFETCH_BANDIT_CONFIG = PrefetchBanditParams()
+
+
+def prefetch_bandit_algorithm(
+    seed: int = 0,
+    multicore: bool = False,
+    params: PrefetchBanditParams = PREFETCH_BANDIT_CONFIG,
+) -> DUCB:
+    """The Table 6 DUCB instance for the prefetching use case."""
+    return DUCB(
+        BanditConfig(
+            num_arms=params.num_arms,
+            gamma=params.gamma,
+            exploration_c=params.exploration_c,
+            rr_restart_prob=params.rr_restart_prob_multicore if multicore else 0.0,
+            seed=seed,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SMTBanditParams:
+    """Table 6, SMT column (epoch length scaled; see module docstring)."""
+
+    gamma: float = 0.975
+    exploration_c: float = 0.01
+    num_arms: int = 6
+    step_epochs: int = 2
+    step_epochs_rr: int = 32
+    epoch_cycles: int = 64_000
+    delta_iq_entries: float = 2.0
+
+
+SMT_BANDIT_TABLE6 = SMTBanditParams()
+
+
+def scaled_hill_climbing(
+    epoch_cycles: int = 1000,
+    params: SMTBanditParams = SMT_BANDIT_TABLE6,
+) -> HillClimbingConfig:
+    """Hill-Climbing config with a simulation-scaled epoch length."""
+    return HillClimbingConfig(
+        iq_size=SMT_CONFIG_TABLE5.iq_size,
+        delta=params.delta_iq_entries,
+        epoch_cycles=epoch_cycles,
+    )

@@ -1,0 +1,674 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Every function returns plain data structures (dicts/lists) that the
+benchmark harness prints and EXPERIMENTS.md records. All functions take
+scale parameters (trace lengths, mix counts, epoch budgets) whose defaults
+are sized for minutes-scale Python runs; the paper-scale values are noted in
+EXPERIMENTS.md.
+
+Index (see DESIGN.md §4): fig02, fig05, table08, table09, fig07, fig08,
+fig09, fig10, fig11, fig12, fig13, fig14, fig15, sec65.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bandit.base import BanditConfig, MABAlgorithm
+from repro.bandit.ducb import DUCB
+from repro.bandit.epsilon_greedy import EpsilonGreedy
+from repro.bandit.heuristics import Periodic, Single
+from repro.bandit.ucb import UCB
+from repro.experiments.configs import (
+    ALT_HIERARCHY_CONFIG,
+    BASELINE_HIERARCHY_CONFIG,
+    PREFETCH_BANDIT_CONFIG,
+)
+from repro.experiments.prefetch import (
+    best_static_arm,
+    run_bandit_prefetch,
+    run_fixed_arm,
+    run_fixed_prefetcher,
+    run_multicore_bandit,
+    run_multicore_fixed,
+)
+from repro.experiments.smt import (
+    DEFAULT_SMT_SCALE,
+    SMTScale,
+    run_smt_bandit,
+    run_smt_static,
+    smt_best_static_arm,
+)
+from repro.hwcost.area_power import (
+    estimate_bandit_cost,
+    relative_overheads,
+    storage_comparison,
+)
+from repro.prefetch.ensemble import TABLE7_ARMS
+from repro.prefetch.pythia import PythiaPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.smt.pg_policy import (
+    ALL_PG_POLICIES,
+    BANDIT_PG_ARMS,
+    CHOI_POLICY,
+    ICOUNT_POLICY,
+    PGPolicy,
+)
+from repro.uncore.hierarchy import HierarchyConfig
+from repro.util.stats import Summary, geometric_mean, summarize_ratios
+from repro.workloads.smt import smt_eval_mixes, smt_tune_mixes
+from repro.workloads.suites import (
+    ALL_SUITES,
+    WorkloadSpec,
+    eval_specs,
+    spec_by_name,
+    tune_specs,
+)
+
+#: Default trace length (memory accesses) for prefetching experiments.
+DEFAULT_TRACE_LENGTH = 30_000
+
+#: The five prefetchers of Figures 8/9/11/14, in the paper's order.
+PREFETCHER_LINEUP = ("stride", "bingo", "mlop", "pythia")
+
+#: Bandit steps targeted per trace at reproduction scale. The paper runs
+#: thousands of 1,000-L2-access steps over 1 B instructions; our traces are
+#: orders of magnitude shorter, so the step length is scaled to preserve the
+#: *number* of learning opportunities rather than the absolute step size.
+TARGET_BANDIT_STEPS = 200
+
+#: DUCB forgetting factor at reproduction scale. Table 6's γ=0.999 encodes a
+#: ~1000-step horizon out of ~30k steps; with ~80-step episodes the
+#: equivalent horizon is a few tens of steps, hence γ≈0.98.
+SCALED_GAMMA = 0.98
+
+
+def _scaled_params(l2_demand_accesses: int, target_steps: int = TARGET_BANDIT_STEPS):
+    """Prefetch bandit params with step and γ scaled to the trace length."""
+    from dataclasses import replace as dc_replace
+
+    step = max(25, l2_demand_accesses // target_steps)
+    return dc_replace(
+        PREFETCH_BANDIT_CONFIG, step_l2_accesses=step, gamma=SCALED_GAMMA
+    )
+
+
+def _num_arms() -> int:
+    return len(TABLE7_ARMS)
+
+
+def _bandit_algorithms(seed: int, gamma: float = SCALED_GAMMA) -> Dict[str, MABAlgorithm]:
+    """The algorithm lineup of Tables 8/9 (prefetching hyperparameters)."""
+    arms = _num_arms()
+    return {
+        "Single": Single(BanditConfig(num_arms=arms, seed=seed)),
+        "Periodic": Periodic(
+            BanditConfig(num_arms=arms, seed=seed), period=40, buffer_length=4
+        ),
+        "eGreedy": EpsilonGreedy(
+            BanditConfig(num_arms=arms, epsilon=0.1, seed=seed)
+        ),
+        "UCB": UCB(BanditConfig(num_arms=arms, exploration_c=0.04, seed=seed)),
+        "DUCB": DUCB(
+            BanditConfig(
+                num_arms=arms, gamma=gamma, exploration_c=0.04, seed=seed
+            )
+        ),
+    }
+
+
+# =============================================================== Figure 2
+
+
+def fig02_pythia_homogeneity(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    workloads: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, Tuple[float, float]]:
+    """Frequency of Pythia's top-2 actions per SPEC-like workload.
+
+    Returns ``{workload: (top1_fraction, top2_fraction)}`` plus an
+    ``"average"`` entry — the paper reports ~60 % / ~15 %.
+    """
+    if workloads is None:
+        workloads = [spec.name for spec in tune_specs()]
+    result: Dict[str, Tuple[float, float]] = {}
+    top1_sum = 0.0
+    top2_sum = 0.0
+    for name in workloads:
+        trace = spec_by_name(name).trace(trace_length, seed=seed)
+        pythia = PythiaPrefetcher()
+        for record in trace:
+            # Feed the L1-miss stream approximation: Pythia trains on all
+            # block-granular demand activity here, as a profiling proxy.
+            pythia.observe(record.pc, record.address >> 6, 0.0, False)
+        top1, top2 = pythia.top_action_fractions(2)
+        result[name] = (top1, top2)
+        top1_sum += top1
+        top2_sum += top2
+    result["average"] = (top1_sum / len(workloads), top2_sum / len(workloads))
+    return result
+
+
+# =============================================================== Figure 5
+
+
+def fig05_pg_policy_range(
+    num_mixes: int = 6,
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    policies: Sequence[PGPolicy] = ALL_PG_POLICIES,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Best/worst PG policy vs Choi per mix (§3.3's motivation figure).
+
+    Returns one record per mix with the best/worst relative IPC and the
+    best policy's mnemonic.
+    """
+    mixes = smt_tune_mixes()[:num_mixes]
+    results: List[Dict[str, object]] = []
+    for index, mix in enumerate(mixes):
+        choi_ipc = run_smt_static(mix, CHOI_POLICY, scale, seed=seed).ipc
+        best_name = CHOI_POLICY.mnemonic
+        best_ipc = -1.0
+        worst_ipc = float("inf")
+        for policy in policies:
+            ipc = run_smt_static(mix, policy, scale, seed=seed).ipc
+            if ipc > best_ipc:
+                best_ipc = ipc
+                best_name = policy.mnemonic
+            worst_ipc = min(worst_ipc, ipc)
+        results.append(
+            {
+                "mix": f"{mix[0].name}-{mix[1].name}",
+                "best_policy": best_name,
+                "best_vs_choi": best_ipc / choi_ipc,
+                "worst_vs_choi": worst_ipc / choi_ipc,
+            }
+        )
+    return results
+
+
+# =============================================================== Table 8
+
+
+def table08_prefetch_tuneset(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    seed: int = 0,
+) -> Dict[str, Summary]:
+    """min/max/gmean IPC as % of the best static arm (prefetching tune set)."""
+    if workloads is None:
+        workloads = tune_specs()
+    ratios: Dict[str, List[float]] = {
+        name: [] for name in
+        ("Pythia", "Single", "Periodic", "eGreedy", "UCB", "DUCB")
+    }
+    for spec in workloads:
+        trace = spec.trace(trace_length, seed=seed)
+        base = run_fixed_prefetcher(trace, "none")
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        _, per_arm = best_static_arm(trace)
+        oracle = max(per_arm.values())
+        pythia_ipc = run_fixed_prefetcher(trace, "pythia").ipc
+        ratios["Pythia"].append(pythia_ipc / oracle)
+        for name, algorithm in _bandit_algorithms(seed).items():
+            result = run_bandit_prefetch(
+                trace, algorithm=algorithm, params=params, seed=seed
+            )
+            ratios[name].append(result.ipc / oracle)
+    return {
+        name: summarize_ratios(values).as_percent()
+        for name, values in ratios.items()
+    }
+
+
+# =============================================================== Table 9
+
+
+def _smt_algorithms(seed: int) -> Dict[str, MABAlgorithm]:
+    arms = len(BANDIT_PG_ARMS)
+    return {
+        "Single": Single(BanditConfig(num_arms=arms, seed=seed)),
+        "Periodic": Periodic(
+            BanditConfig(num_arms=arms, seed=seed), period=20, buffer_length=4
+        ),
+        "eGreedy": EpsilonGreedy(
+            BanditConfig(num_arms=arms, epsilon=0.1, seed=seed)
+        ),
+        "UCB": UCB(BanditConfig(num_arms=arms, exploration_c=0.01, seed=seed)),
+        "DUCB": DUCB(
+            BanditConfig(
+                num_arms=arms, gamma=0.975, exploration_c=0.01, seed=seed
+            )
+        ),
+    }
+
+
+def table09_smt_tuneset(
+    num_mixes: int = 10,
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    seed: int = 0,
+) -> Dict[str, Summary]:
+    """min/max/gmean IPC as % of the best static arm (SMT tune set)."""
+    mixes = smt_tune_mixes()[:num_mixes]
+    names = ("Choi", "Single", "Periodic", "eGreedy", "UCB", "DUCB")
+    ratios: Dict[str, List[float]] = {name: [] for name in names}
+    for mix in mixes:
+        _, per_arm = smt_best_static_arm(mix, scale=scale, seed=seed)
+        oracle = max(per_arm.values())
+        choi = run_smt_static(mix, CHOI_POLICY, scale, seed=seed).ipc
+        ratios["Choi"].append(choi / oracle)
+        for name, algorithm in _smt_algorithms(seed).items():
+            result = run_smt_bandit(mix, scale, algorithm=algorithm, seed=seed)
+            ratios[name].append(result.ipc / oracle)
+    return {
+        name: summarize_ratios(values).as_percent()
+        for name, values in ratios.items()
+    }
+
+
+# =============================================================== Figure 7
+
+
+def fig07_exploration_traces(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    prefetch_workloads: Sequence[str] = ("cactus06", "mcf06"),
+    smt_mixes: Sequence[Tuple[str, str]] = (("gcc", "lbm"), ("cactuBSSN", "lbm")),
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Arm-exploration traces for Best Static / Single / UCB / DUCB.
+
+    Returns ``{scenario: {algorithm: {"ipc": float, "arms": [...]}}}`` where
+    ``arms`` is the arm index over time (per bandit step).
+    """
+    from repro.workloads.smt import thread_profile
+
+    out: Dict[str, Dict[str, Dict[str, object]]] = {}
+    arms = _num_arms()
+    for name in prefetch_workloads:
+        trace = spec_by_name(name).trace(trace_length, seed=seed)
+        base = run_fixed_prefetcher(trace, "none")
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        best_arm, per_arm = best_static_arm(trace)
+        scenario: Dict[str, Dict[str, object]] = {
+            "BestStatic": {"ipc": per_arm[best_arm], "arms": [best_arm]},
+        }
+        for alg_name, algorithm in (
+            ("Single", Single(BanditConfig(num_arms=arms, seed=seed))),
+            ("UCB", UCB(BanditConfig(num_arms=arms, exploration_c=0.04, seed=seed))),
+            ("DUCB", DUCB(BanditConfig(num_arms=arms, gamma=SCALED_GAMMA,
+                                       exploration_c=0.04, seed=seed))),
+        ):
+            result = run_bandit_prefetch(
+                trace, algorithm=algorithm, params=params, seed=seed
+            )
+            scenario[alg_name] = {"ipc": result.ipc, "arms": result.arm_history}
+        out[f"prefetch:{name}"] = scenario
+
+    smt_arms = len(BANDIT_PG_ARMS)
+    for first, second in smt_mixes:
+        mix = (thread_profile(first), thread_profile(second))
+        best_index, per_arm = smt_best_static_arm(mix, scale=scale, seed=seed)
+        scenario = {
+            "BestStatic": {"ipc": per_arm[best_index], "arms": [best_index]},
+        }
+        for alg_name, algorithm in (
+            ("Single", Single(BanditConfig(num_arms=smt_arms, seed=seed))),
+            ("UCB", UCB(BanditConfig(num_arms=smt_arms, exploration_c=0.01,
+                                     seed=seed))),
+            ("DUCB", DUCB(BanditConfig(num_arms=smt_arms, gamma=0.975,
+                                       exploration_c=0.01, seed=seed))),
+        ):
+            result = run_smt_bandit(mix, scale, algorithm=algorithm, seed=seed)
+            scenario[alg_name] = {"ipc": result.ipc, "arms": result.arm_history}
+        out[f"smt:{first}-{second}"] = scenario
+    return out
+
+
+# =============================================================== Figures 8/11
+
+
+def fig08_singlecore(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    suites: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Per-suite gmean IPC (normalized to no-prefetching) per prefetcher.
+
+    Returns ``{suite: {prefetcher: normalized_ipc}}`` with an ``"all"``
+    entry for the cross-suite geometric mean. Figure 11 is the same
+    experiment with :data:`ALT_HIERARCHY_CONFIG`.
+    """
+    if suites is None:
+        suites = list(ALL_SUITES)
+    lineup = list(PREFETCHER_LINEUP) + ["bandit"]
+    per_suite: Dict[str, Dict[str, List[float]]] = {
+        suite: {name: [] for name in lineup} for suite in suites
+    }
+    for suite in suites:
+        for spec in ALL_SUITES[suite]:
+            trace = spec.trace(trace_length, seed=seed)
+            base = run_fixed_prefetcher(trace, "none", hierarchy_config)
+            params = _scaled_params(base.stats.l2_demand_accesses)
+            for name in PREFETCHER_LINEUP:
+                ipc = run_fixed_prefetcher(trace, name, hierarchy_config).ipc
+                per_suite[suite][name].append(ipc / base.ipc)
+            bandit = run_bandit_prefetch(
+                trace, hierarchy_config=hierarchy_config, params=params,
+                seed=seed,
+            )
+            per_suite[suite]["bandit"].append(bandit.ipc / base.ipc)
+    result: Dict[str, Dict[str, float]] = {}
+    all_values: Dict[str, List[float]] = {name: [] for name in lineup}
+    for suite in suites:
+        result[suite] = {}
+        for name in lineup:
+            values = per_suite[suite][name]
+            result[suite][name] = geometric_mean(values)
+            all_values[name].extend(values)
+    result["all"] = {
+        name: geometric_mean(values) for name, values in all_values.items()
+    }
+    return result
+
+
+def fig11_alt_hierarchy(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    suites: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 8 repeated with L2 = 1 MB and LLC = 1.5 MB/core (§7.2.2)."""
+    return fig08_singlecore(trace_length, ALT_HIERARCHY_CONFIG, suites, seed)
+
+
+# =============================================================== Figure 9
+
+
+def fig09_breakdown(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """LLC misses + timely/late/wrong prefetches, normalized to NoPrefetch.
+
+    Returns ``{prefetcher: {llc_misses, timely, late, wrong}}`` (all
+    normalized to the no-prefetch LLC miss count), including BanditIdeal
+    (zero selection latency).
+    """
+    if workloads is None:
+        workloads = tune_specs()
+    lineup = list(PREFETCHER_LINEUP) + ["bandit", "bandit_ideal"]
+    sums: Dict[str, Dict[str, float]] = {
+        name: {"llc_misses": 0.0, "timely": 0.0, "late": 0.0, "wrong": 0.0}
+        for name in lineup
+    }
+    baseline_misses = 0.0
+    for spec in workloads:
+        trace = spec.trace(trace_length, seed=seed)
+        base = run_fixed_prefetcher(trace, "none")
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        baseline_misses += base.stats.llc_demand_misses
+        for name in lineup:
+            if name == "bandit":
+                result = run_bandit_prefetch(trace, params=params, seed=seed)
+            elif name == "bandit_ideal":
+                result = run_bandit_prefetch(
+                    trace, params=params, seed=seed, ideal_latency=True
+                )
+            else:
+                result = run_fixed_prefetcher(trace, name)
+            stats = result.stats
+            sums[name]["llc_misses"] += stats.llc_demand_misses
+            sums[name]["timely"] += stats.prefetch.timely
+            sums[name]["late"] += stats.prefetch.late
+            sums[name]["wrong"] += stats.prefetch.wrong
+    if baseline_misses == 0:
+        raise RuntimeError("no-prefetch baseline produced zero LLC misses")
+    return {
+        name: {key: value / baseline_misses for key, value in metrics.items()}
+        for name, metrics in sums.items()
+    }
+
+
+# =============================================================== Figure 10
+
+
+def fig10_bandwidth_sweep(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    mtps_values: Sequence[float] = (150.0, 600.0, 2400.0, 9600.0),
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    seed: int = 0,
+) -> Dict[float, Dict[str, float]]:
+    """Pythia vs Bandit across DRAM bandwidth points (§7.2.1, Figure 10).
+
+    Returns ``{mtps: {"pythia": gmean_norm_ipc, "bandit": gmean_norm_ipc}}``
+    normalized to no-prefetching at the same bandwidth.
+    """
+    if workloads is None:
+        workloads = tune_specs()
+    result: Dict[float, Dict[str, float]] = {}
+    for mtps in mtps_values:
+        from dataclasses import replace as dc_replace
+
+        config = dc_replace(BASELINE_HIERARCHY_CONFIG, dram_mtps=mtps)
+        pythia_ratios: List[float] = []
+        bandit_ratios: List[float] = []
+        for spec in workloads:
+            trace = spec.trace(trace_length, seed=seed)
+            base = run_fixed_prefetcher(trace, "none", config)
+            params = _scaled_params(base.stats.l2_demand_accesses)
+            pythia = run_fixed_prefetcher(trace, "pythia", config).ipc
+            bandit = run_bandit_prefetch(
+                trace, hierarchy_config=config, params=params, seed=seed
+            ).ipc
+            pythia_ratios.append(pythia / base.ipc)
+            bandit_ratios.append(bandit / base.ipc)
+        result[mtps] = {
+            "pythia": geometric_mean(pythia_ratios),
+            "bandit": geometric_mean(bandit_ratios),
+        }
+    return result
+
+
+# =============================================================== Figure 12
+
+
+def fig12_multilevel(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Multi-level combinations vs no-prefetching (§7.2.2, Figure 12).
+
+    Returns gmean normalized IPC for Stride_Stride, IPCP, Stride_Pythia,
+    and Stride_Bandit (L1 prefetcher _ L2 prefetcher).
+    """
+    if workloads is None:
+        workloads = tune_specs()
+    ratios: Dict[str, List[float]] = {
+        "stride_stride": [],
+        "ipcp": [],
+        "stride_pythia": [],
+        "stride_bandit": [],
+    }
+    for spec in workloads:
+        trace = spec.trace(trace_length, seed=seed)
+        base = run_fixed_prefetcher(trace, "none")
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        l1 = StridePrefetcher(degree=2)
+        ratios["stride_stride"].append(
+            run_fixed_prefetcher(trace, "stride", l1_prefetcher=l1).ipc / base.ipc
+        )
+        ratios["ipcp"].append(
+            run_fixed_prefetcher(
+                trace, "ipcp", l1_prefetcher=IPCPL1()
+            ).ipc / base.ipc
+        )
+        ratios["stride_pythia"].append(
+            run_fixed_prefetcher(
+                trace, "pythia", l1_prefetcher=StridePrefetcher(degree=2)
+            ).ipc / base.ipc
+        )
+        bandit = run_bandit_prefetch_with_l1(trace, params=params, seed=seed)
+        ratios["stride_bandit"].append(bandit / base.ipc)
+    return {name: geometric_mean(values) for name, values in ratios.items()}
+
+
+def IPCPL1():
+    """L1 instance of IPCP for the multi-level configuration."""
+    from repro.prefetch.ipcp import IPCPPrefetcher
+
+    return IPCPPrefetcher(cs_degree=2, gs_degree=2)
+
+
+def run_bandit_prefetch_with_l1(trace, params=None, seed: int = 0) -> float:
+    """Stride at L1 + Bandit-controlled ensemble at L2; returns IPC."""
+    from repro.bandit.hardware import MicroArmedBandit
+    from repro.core_model.trace_core import TraceCore
+    from repro.experiments.configs import (
+        CORE_CONFIG_TABLE4,
+        prefetch_bandit_algorithm,
+    )
+    from repro.prefetch.ensemble import EnsemblePrefetcher
+    from repro.uncore.hierarchy import CacheHierarchy
+
+    if params is None:
+        params = PREFETCH_BANDIT_CONFIG
+    ensemble = EnsemblePrefetcher()
+    hierarchy = CacheHierarchy(
+        BASELINE_HIERARCHY_CONFIG,
+        l2_prefetcher=ensemble,
+        l1_prefetcher=StridePrefetcher(degree=2),
+    )
+    core = TraceCore(hierarchy, CORE_CONFIG_TABLE4)
+    bandit = MicroArmedBandit(
+        prefetch_bandit_algorithm(seed=seed),
+        selection_latency_cycles=params.selection_latency_cycles,
+    )
+    bandit.reset_counters(core.counters())
+    arm = bandit.begin_step(0.0)
+    ensemble.set_arm(arm)
+    next_boundary = params.step_l2_accesses
+    stats = hierarchy.stats
+    for record in trace:
+        core.execute(record)
+        if stats.l2_demand_accesses >= next_boundary:
+            next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
+            bandit.end_step(core.counters())
+            ensemble.set_arm(bandit.begin_step(core.retire_time))
+    hierarchy.finalize()
+    return core.ipc
+
+
+# =============================================================== Figure 13
+
+
+def fig13_smt_bandit_vs_choi(
+    num_mixes: int = 24,
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Bandit/Choi IPC ratios over the eval mixes, sorted ascending.
+
+    Returns the sorted ratio list, the geometric means vs Choi and vs
+    plain ICount, and counts of mixes beyond ±4 %.
+    """
+    mixes = smt_eval_mixes()[:num_mixes]
+    ratios_choi: List[float] = []
+    ratios_icount: List[float] = []
+    for mix in mixes:
+        choi = run_smt_static(mix, CHOI_POLICY, scale, seed=seed).ipc
+        icount = run_smt_static(mix, ICOUNT_POLICY, scale, seed=seed).ipc
+        bandit = run_smt_bandit(mix, scale, seed=seed).ipc
+        ratios_choi.append(bandit / choi)
+        ratios_icount.append(bandit / icount)
+    ratios_sorted = sorted(ratios_choi)
+    return {
+        "ratios_sorted": ratios_sorted,
+        "gmean_vs_choi": geometric_mean(ratios_choi),
+        "gmean_vs_icount": geometric_mean(ratios_icount),
+        "wins_over_4pct": sum(1 for ratio in ratios_choi if ratio > 1.04),
+        "losses_over_4pct": sum(1 for ratio in ratios_choi if ratio < 0.96),
+    }
+
+
+# =============================================================== Figure 14
+
+
+def fig14_fourcore(
+    trace_length: int = 12_000,
+    max_mixes: int = 8,
+    seed: int = 0,
+    gap_scale: float = 3.0,
+) -> Dict[str, float]:
+    """4-core homogeneous mixes: gmean total IPC normalized to no-prefetch.
+
+    ``gap_scale`` lowers per-core memory intensity to SPEC-rate levels so
+    the single 2400-MTPS channel is contended but not hopelessly saturated
+    (see WorkloadSpec.trace).
+    """
+    specs = tune_specs()[:max_mixes]
+    lineup = list(PREFETCHER_LINEUP) + ["bandit"]
+    ratios: Dict[str, List[float]] = {name: [] for name in lineup}
+    for spec in specs:
+        traces = [
+            spec.trace(trace_length, seed=seed + core, gap_scale=gap_scale)
+            for core in range(4)
+        ]
+        base_ipc, base_system = run_multicore_fixed(traces, "none")
+        mean_l2 = sum(
+            h.stats.l2_demand_accesses for h in base_system.hierarchies
+        ) // 4
+        params = _scaled_params(mean_l2)
+        for name in PREFETCHER_LINEUP:
+            ipc, _ = run_multicore_fixed(traces, name)
+            ratios[name].append(ipc / base_ipc)
+        bandit_ipc, _ = run_multicore_bandit(traces, params=params, seed=seed)
+        ratios["bandit"].append(bandit_ipc / base_ipc)
+    return {name: geometric_mean(values) for name, values in ratios.items()}
+
+
+# =============================================================== Figure 15
+
+
+def fig15_rename_activity(
+    num_mixes: int = 12,
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Average rename-stage cycle breakdown: Bandit vs Choi (Figure 15)."""
+    mixes = smt_eval_mixes()[:num_mixes]
+    keys = ("rob_full", "iq_full", "lq_full", "sq_full", "rf_full",
+            "stalled_any", "idle", "running")
+    sums = {"Choi": dict.fromkeys(keys, 0.0), "Bandit": dict.fromkeys(keys, 0.0)}
+    for mix in mixes:
+        choi = run_smt_static(mix, CHOI_POLICY, scale, seed=seed)
+        bandit = run_smt_bandit(mix, scale, seed=seed)
+        for key, value in choi.rename.fractions().items():
+            sums["Choi"][key] += value
+        for key, value in bandit.rename.fractions().items():
+            sums["Bandit"][key] += value
+    count = len(mixes)
+    return {
+        name: {key: value / count for key, value in metrics.items()}
+        for name, metrics in sums.items()
+    }
+
+
+# =============================================================== §6.5
+
+
+def sec65_area_power() -> Dict[str, object]:
+    """Bandit storage/area/power and relative overheads (§6.5)."""
+    estimate = estimate_bandit_cost(num_arms=_num_arms())
+    overheads = relative_overheads(estimate)
+    return {
+        "storage_bytes": estimate.storage_bytes,
+        "area_mm2": estimate.area_mm2,
+        "power_mw": estimate.power_mw,
+        "area_fraction_of_icelake": overheads["area_fraction"],
+        "power_fraction_of_icelake": overheads["power_fraction"],
+        "storage_comparison": storage_comparison(num_arms=_num_arms()),
+    }

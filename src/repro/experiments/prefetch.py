@@ -1,0 +1,293 @@
+"""Prefetching experiment runners (single-core and 4-core).
+
+The runners replay a workload trace through the trace-driven core and
+hierarchy with a chosen prefetcher configuration:
+
+- :func:`run_fixed_prefetcher` — any named comparator (none, stride, bop,
+  mlop, bingo, pythia, ipcp) or a fixed ensemble arm.
+- :func:`run_bandit_prefetch` — the Micro-Armed Bandit driving the ensemble:
+  one bandit step per 1,000 L2 demand accesses (Table 6), IPC reward from
+  the core's counters, and the conservative 500-cycle selection latency
+  (the previously selected arm stays in effect until it elapses, §6.1).
+- :func:`best_static_arm` — the per-application oracle of §6.4.
+- :func:`run_multicore_fixed` / :func:`run_multicore_bandit` — the 4-core
+  experiments of §7.2.3 with per-core bandits and the §4.3 round-robin
+  restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bandit.base import MABAlgorithm
+from repro.bandit.hardware import MicroArmedBandit
+from repro.core_model.multicore import MulticoreSystem
+from repro.core_model.trace_core import CoreConfig, TraceCore
+from repro.experiments.configs import (
+    BASELINE_HIERARCHY_CONFIG,
+    CORE_CONFIG_TABLE4,
+    PREFETCH_BANDIT_CONFIG,
+    PrefetchBanditParams,
+    prefetch_bandit_algorithm,
+)
+from repro.prefetch.base import NullPrefetcher, Prefetcher
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.bop import BOPrefetcher
+from repro.prefetch.ensemble import EnsemblePrefetcher
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.ipcp import IPCPPrefetcher
+from repro.prefetch.mlop import MLOPPrefetcher
+from repro.prefetch.pythia import PythiaPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.uncore.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass
+class PrefetchRunResult:
+    """Outcome of one trace replay."""
+
+    ipc: float
+    instructions: int
+    cycles: float
+    stats: HierarchyStats
+    arm_history: List[int] = field(default_factory=list)
+    #: (cycle, arm) samples for exploration plots (Figure 7).
+    arm_trace: List[Tuple[float, int]] = field(default_factory=list)
+
+
+def make_prefetcher(
+    name: str, hierarchy_holder: Optional[list] = None
+) -> Optional[Prefetcher]:
+    """Build a comparator prefetcher by name.
+
+    ``hierarchy_holder`` is a one-element list the runner fills with the
+    hierarchy after construction; Pythia uses it for its bandwidth probe.
+    """
+    if name == "none":
+        return None
+    if name == "stride":
+        return IPStridePrefetcher()
+    if name == "bop":
+        return BOPrefetcher()
+    if name == "mlop":
+        return MLOPPrefetcher()
+    if name == "bingo":
+        return BingoPrefetcher()
+    if name == "ipcp":
+        return IPCPPrefetcher()
+    if name == "pythia":
+        probe = _make_bandwidth_probe(hierarchy_holder)
+        return PythiaPrefetcher(bandwidth_probe=probe)
+    raise ValueError(f"unknown prefetcher {name!r}")
+
+
+def _make_bandwidth_probe(hierarchy_holder: Optional[list]) -> Callable[[], float]:
+    def probe() -> float:
+        if not hierarchy_holder:
+            return 0.0
+        hierarchy: CacheHierarchy = hierarchy_holder[0]
+        dram = hierarchy.dram
+        backlog = dram.channel_free_at
+        # Treat a channel backlog of more than 8 line-times as high usage.
+        return 1.0 if dram.average_queue_delay() > 4 * dram.cycles_per_line else 0.0
+
+    return probe
+
+
+def run_fixed_prefetcher(
+    trace: Sequence[TraceRecord],
+    prefetcher_name: str = "none",
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+    l1_prefetcher: Optional[Prefetcher] = None,
+) -> PrefetchRunResult:
+    """Replay ``trace`` with a fixed comparator prefetcher at the L2."""
+    holder: list = []
+    prefetcher = make_prefetcher(prefetcher_name, holder)
+    hierarchy = CacheHierarchy(
+        hierarchy_config, l2_prefetcher=prefetcher, l1_prefetcher=l1_prefetcher
+    )
+    holder.append(hierarchy)
+    core = TraceCore(hierarchy, core_config)
+    core.run(trace)
+    hierarchy.finalize()
+    return PrefetchRunResult(
+        ipc=core.ipc,
+        instructions=core.instructions,
+        cycles=core.cycles,
+        stats=hierarchy.stats,
+    )
+
+
+def run_fixed_arm(
+    trace: Sequence[TraceRecord],
+    arm: int,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+) -> PrefetchRunResult:
+    """Replay ``trace`` with one ensemble arm held for the whole run."""
+    ensemble = EnsemblePrefetcher()
+    ensemble.set_arm(arm)
+    hierarchy = CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble)
+    core = TraceCore(hierarchy, core_config)
+    core.run(trace)
+    hierarchy.finalize()
+    return PrefetchRunResult(
+        ipc=core.ipc,
+        instructions=core.instructions,
+        cycles=core.cycles,
+        stats=hierarchy.stats,
+        arm_history=[arm],
+    )
+
+
+def best_static_arm(
+    trace: Sequence[TraceRecord],
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+    num_arms: Optional[int] = None,
+) -> Tuple[int, Dict[int, float]]:
+    """Exhaustively evaluate every arm; returns (best arm, per-arm IPC)."""
+    total_arms = num_arms if num_arms is not None else EnsemblePrefetcher().num_arms
+    per_arm: Dict[int, float] = {}
+    for arm in range(total_arms):
+        per_arm[arm] = run_fixed_arm(trace, arm, hierarchy_config, core_config).ipc
+    best = max(per_arm, key=per_arm.get)
+    return best, per_arm
+
+
+def run_bandit_prefetch(
+    trace: Sequence[TraceRecord],
+    algorithm: Optional[MABAlgorithm] = None,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+    params: PrefetchBanditParams = PREFETCH_BANDIT_CONFIG,
+    seed: int = 0,
+    ideal_latency: bool = False,
+) -> PrefetchRunResult:
+    """Replay ``trace`` with the Micro-Armed Bandit driving the ensemble.
+
+    ``ideal_latency`` removes the 500-cycle selection latency (the
+    *BanditIdeal* configuration of Figure 9).
+    """
+    if algorithm is None:
+        algorithm = prefetch_bandit_algorithm(seed=seed, params=params)
+    ensemble = EnsemblePrefetcher(
+        num_stride_trackers=params.num_stride_trackers,
+        num_stream_trackers=params.num_stream_trackers,
+    )
+    hierarchy = CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble)
+    core = TraceCore(hierarchy, core_config)
+    latency = 0 if ideal_latency else params.selection_latency_cycles
+    bandit = MicroArmedBandit(algorithm, selection_latency_cycles=latency)
+
+    bandit.reset_counters(core.counters())
+    pending_arm = bandit.begin_step(core.retire_time)
+    applied_arm = pending_arm
+    ensemble.set_arm(pending_arm)
+    arm_trace: List[Tuple[float, int]] = [(0.0, pending_arm)]
+    next_boundary = params.step_l2_accesses
+    stats = hierarchy.stats
+
+    for record in trace:
+        core.execute(record)
+        if pending_arm != applied_arm and core.retire_time >= bandit.selection_ready_cycle:
+            ensemble.set_arm(pending_arm)
+            applied_arm = pending_arm
+        if stats.l2_demand_accesses >= next_boundary:
+            next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
+            bandit.end_step(core.counters())
+            pending_arm = bandit.begin_step(core.retire_time)
+            arm_trace.append((core.retire_time, pending_arm))
+            if ideal_latency:
+                ensemble.set_arm(pending_arm)
+                applied_arm = pending_arm
+    hierarchy.finalize()
+    return PrefetchRunResult(
+        ipc=core.ipc,
+        instructions=core.instructions,
+        cycles=core.cycles,
+        stats=stats,
+        arm_history=list(algorithm.selection_history),
+        arm_trace=arm_trace,
+    )
+
+
+# --------------------------------------------------------------------- 4-core
+
+
+def run_multicore_fixed(
+    traces: Sequence[Sequence[TraceRecord]],
+    prefetcher_name: str = "none",
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+) -> Tuple[float, MulticoreSystem]:
+    """4-core run with one independent comparator prefetcher per core."""
+    holders: List[list] = [[] for _ in traces]
+    prefetchers = [
+        make_prefetcher(prefetcher_name, holders[index])
+        for index in range(len(traces))
+    ]
+    system = MulticoreSystem(
+        len(traces), hierarchy_config, core_config, prefetchers
+    )
+    for index, holder in enumerate(holders):
+        holder.append(system.hierarchies[index])
+    system.run(traces)
+    return system.total_ipc(), system
+
+
+def run_multicore_bandit(
+    traces: Sequence[Sequence[TraceRecord]],
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+    params: PrefetchBanditParams = PREFETCH_BANDIT_CONFIG,
+    seed: int = 0,
+    rr_restart: bool = True,
+) -> Tuple[float, MulticoreSystem]:
+    """4-core run with one Micro-Armed Bandit per core (§7.2.3).
+
+    Each core's DUCB uses ``rr_restart_prob`` from Table 6 so that a core
+    trapped by inter-core interference eventually re-evaluates all arms.
+    """
+    num_cores = len(traces)
+    ensembles = [EnsemblePrefetcher() for _ in range(num_cores)]
+    system = MulticoreSystem(num_cores, hierarchy_config, core_config, ensembles)
+    bandits: List[MicroArmedBandit] = []
+    boundaries: List[int] = []
+    pending: List[int] = []
+    for index in range(num_cores):
+        algorithm = prefetch_bandit_algorithm(
+            seed=seed * num_cores + index,
+            multicore=rr_restart,
+            params=params,
+        )
+        bandit = MicroArmedBandit(
+            algorithm, selection_latency_cycles=params.selection_latency_cycles
+        )
+        core = system.cores[index]
+        bandit.reset_counters(core.counters())
+        arm = bandit.begin_step(core.retire_time)
+        ensembles[index].set_arm(arm)
+        bandits.append(bandit)
+        boundaries.append(params.step_l2_accesses)
+        pending.append(arm)
+
+    step = params.step_l2_accesses
+
+    def hook(core_index: int, core: TraceCore) -> None:
+        stats = system.hierarchies[core_index].stats
+        bandit = bandits[core_index]
+        if pending[core_index] != ensembles[core_index].arm_id and (
+            core.retire_time >= bandit.selection_ready_cycle
+        ):
+            ensembles[core_index].set_arm(pending[core_index])
+        if stats.l2_demand_accesses >= boundaries[core_index]:
+            boundaries[core_index] = stats.l2_demand_accesses + step
+            bandit.end_step(core.counters())
+            pending[core_index] = bandit.begin_step(core.retire_time)
+
+    system.run(traces, per_record_hook=hook)
+    return system.total_ipc(), system

@@ -1,0 +1,19 @@
+"""Hardware cost estimation for the Bandit agent (§6.5)."""
+
+from repro.hwcost.area_power import (
+    BanditCostEstimate,
+    ICELAKE_40C,
+    ServerCPU,
+    estimate_bandit_cost,
+    relative_overheads,
+    storage_comparison,
+)
+
+__all__ = [
+    "BanditCostEstimate",
+    "ICELAKE_40C",
+    "ServerCPU",
+    "estimate_bandit_cost",
+    "relative_overheads",
+    "storage_comparison",
+]

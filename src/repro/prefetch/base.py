@@ -1,0 +1,45 @@
+"""Prefetcher interface.
+
+A prefetcher observes the demand-access stream of the cache level it is
+attached to and returns candidate blocks to prefetch. The hierarchy filters
+duplicates/in-flight blocks, enforces MSHR limits, and performs the fills, so
+prefetchers stay pure pattern detectors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Prefetcher:
+    """Base class for all prefetchers.
+
+    Subclasses override :meth:`observe` and :attr:`storage_bytes` (the
+    hardware budget reported in §7.2.1's comparison).
+    """
+
+    name = "base"
+
+    #: Hardware storage estimate in bytes; see repro.hwcost for the per-design
+    #: derivations used in the paper's comparison.
+    storage_bytes = 0
+
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+        """React to a demand access to ``block`` (a 64-byte block number).
+
+        ``hit`` says whether the access hit in the attached cache level.
+        Returns block numbers to prefetch, in priority order.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear learned state (used between episodes)."""
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching — the NoPrefetch baseline of Figures 8/9/12."""
+
+    name = "none"
+
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+        return []

@@ -1,0 +1,85 @@
+"""Best-Offset Prefetcher (Michaud, HPCA 2016) [47].
+
+BOP learns a single best offset for *all* cache lines: each learning round it
+scores every candidate offset by checking whether ``block - offset`` was
+recently accessed (i.e. the offset would have produced a timely prefetch),
+and at the end of the round adopts the highest-scoring offset. It always
+prefetches with degree 1. §8 discusses why this fails under high-but-
+imperfect temporal homogeneity — it cannot sustain several offsets at once —
+making it a useful contrast for the ensemble approach.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.prefetch.base import Prefetcher
+
+#: Default candidate offsets (a subset of BOP's 52-entry list).
+DEFAULT_OFFSETS = (1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, -1, -2, -3, -4)
+
+
+class BOPrefetcher(Prefetcher):
+    """Best-offset prefetching with a recent-requests table."""
+
+    name = "bop"
+
+    def __init__(
+        self,
+        offsets: tuple = DEFAULT_OFFSETS,
+        round_length: int = 100,
+        recent_capacity: int = 128,
+        score_threshold: int = 20,
+    ) -> None:
+        if round_length < 1:
+            raise ValueError(f"round_length must be >= 1, got {round_length}")
+        self.offsets = tuple(offsets)
+        self.round_length = round_length
+        self.recent_capacity = recent_capacity
+        self.score_threshold = score_threshold
+        self._recent: "OrderedDict[int, None]" = OrderedDict()
+        self._scores: Dict[int, int] = {offset: 0 for offset in self.offsets}
+        self._round_accesses = 0
+        self.best_offset = 1
+        self._active = True
+
+    @property
+    def storage_bytes(self) -> int:  # type: ignore[override]
+        # Recent-requests table (~6 B/entry) + one score counter per offset.
+        return self.recent_capacity * 6 + len(self.offsets) * 2
+
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+        for offset in self.offsets:
+            if (block - offset) in self._recent:
+                self._scores[offset] += 1
+        self._remember(block)
+        self._round_accesses += 1
+        if self._round_accesses >= self.round_length:
+            self._finish_round()
+        if not self._active:
+            return []
+        return [block + self.best_offset]
+
+    def _remember(self, block: int) -> None:
+        self._recent[block] = None
+        self._recent.move_to_end(block)
+        if len(self._recent) > self.recent_capacity:
+            self._recent.popitem(last=False)
+
+    def _finish_round(self) -> None:
+        best = max(self.offsets, key=lambda offset: self._scores[offset])
+        best_score = self._scores[best]
+        # BOP turns itself off when no offset scores above threshold.
+        self._active = best_score >= self.score_threshold
+        if self._active:
+            self.best_offset = best
+        self._scores = {offset: 0 for offset in self.offsets}
+        self._round_accesses = 0
+
+    def reset(self) -> None:
+        self._recent.clear()
+        self._scores = {offset: 0 for offset in self.offsets}
+        self._round_accesses = 0
+        self.best_offset = 1
+        self._active = True

@@ -1,0 +1,119 @@
+"""Bandit-controlled prefetcher ensemble (§5.2, Table 7).
+
+An arm encodes whether the next-line prefetcher is on, the degree of the
+PC-stride prefetcher, and the degree of the stream prefetcher (degree 0 means
+off). The Bandit agent writes its arm selection into "programmable registers"
+exactly as the POWER7 exposes prefetcher aggressiveness; here that is
+:meth:`EnsemblePrefetcher.set_arm`.
+
+The component prefetchers keep *training* on the demand stream regardless of
+the active arm so that a newly selected arm is effective immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+
+@dataclass(frozen=True)
+class ArmSpec:
+    """One Table 7 arm: ensemble configuration."""
+
+    next_line: bool
+    stride_degree: int
+    stream_degree: int
+
+    def __post_init__(self) -> None:
+        if self.stride_degree < 0 or self.stream_degree < 0:
+            raise ValueError("degrees must be >= 0")
+
+    def label(self) -> str:
+        return (
+            f"NL={'on' if self.next_line else 'off'}"
+            f"/stride={self.stride_degree}/stream={self.stream_degree}"
+        )
+
+
+#: The 11 arms of Table 7, in arm-id order.
+TABLE7_ARMS: Tuple[ArmSpec, ...] = (
+    ArmSpec(next_line=False, stride_degree=0, stream_degree=4),   # 0
+    ArmSpec(next_line=False, stride_degree=0, stream_degree=0),   # 1 (all off)
+    ArmSpec(next_line=True, stride_degree=0, stream_degree=0),    # 2
+    ArmSpec(next_line=False, stride_degree=0, stream_degree=2),   # 3
+    ArmSpec(next_line=False, stride_degree=2, stream_degree=2),   # 4
+    ArmSpec(next_line=False, stride_degree=4, stream_degree=4),   # 5
+    ArmSpec(next_line=False, stride_degree=0, stream_degree=6),   # 6
+    ArmSpec(next_line=False, stride_degree=8, stream_degree=6),   # 7
+    ArmSpec(next_line=True, stride_degree=0, stream_degree=8),    # 8
+    ArmSpec(next_line=False, stride_degree=0, stream_degree=15),  # 9
+    ArmSpec(next_line=False, stride_degree=15, stream_degree=15),  # 10
+)
+
+
+class EnsemblePrefetcher(Prefetcher):
+    """Next-line + PC-stride + stream, reconfigured by arm id."""
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        arms: Sequence[ArmSpec] = TABLE7_ARMS,
+        num_stride_trackers: int = 64,
+        num_stream_trackers: int = 64,
+    ) -> None:
+        if not arms:
+            raise ValueError("ensemble requires at least one arm")
+        self.arms: Tuple[ArmSpec, ...] = tuple(arms)
+        self.next_line = NextLinePrefetcher(enabled=False)
+        self.stride = StridePrefetcher(degree=0, num_trackers=num_stride_trackers)
+        self.stream = StreamPrefetcher(degree=0, num_trackers=num_stream_trackers)
+        self._arm_id = 0
+        self.set_arm(0)
+
+    @property
+    def num_arms(self) -> int:
+        return len(self.arms)
+
+    @property
+    def arm_id(self) -> int:
+        return self._arm_id
+
+    @property
+    def storage_bytes(self) -> int:  # type: ignore[override]
+        # The component prefetchers are "already fundamental parts of modern
+        # processors" (§7.2.1); together with them the ensemble is < 2 KB.
+        return (
+            self.next_line.storage_bytes
+            + self.stride.storage_bytes
+            + self.stream.storage_bytes
+        )
+
+    def set_arm(self, arm_id: int) -> None:
+        """Write the arm's configuration into the degree registers."""
+        if not 0 <= arm_id < len(self.arms):
+            raise ValueError(f"arm id {arm_id} out of range [0, {len(self.arms)})")
+        spec = self.arms[arm_id]
+        self._arm_id = arm_id
+        self.next_line.enabled = spec.next_line
+        self.stride.set_degree(spec.stride_degree)
+        self.stream.set_degree(spec.stream_degree)
+
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+        candidates: List[int] = []
+        seen = set()
+        for component in (self.next_line, self.stride, self.stream):
+            for candidate in component.observe(pc, block, cycle, hit):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    candidates.append(candidate)
+        return candidates
+
+    def reset(self) -> None:
+        self.stride.reset()
+        self.stream.reset()

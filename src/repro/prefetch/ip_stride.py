@@ -1,0 +1,20 @@
+"""IP-stride prefetcher [23] — the paper's baseline prefetcher (§6.4).
+
+Functionally a fixed-degree PC-based stride prefetcher; kept as its own class
+so experiment configurations and storage accounting can name it explicitly.
+The classic Fu/Patel/Janssens design prefetches a single strided block ahead
+(degree 1), which is what "simple IP-Stride" denotes in the paper's lineup.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.stride import StridePrefetcher
+
+
+class IPStridePrefetcher(StridePrefetcher):
+    """The classic IP-stride baseline with a fixed degree."""
+
+    name = "ip_stride"
+
+    def __init__(self, degree: int = 1, num_trackers: int = 64) -> None:
+        super().__init__(degree=degree, num_trackers=num_trackers)

@@ -1,0 +1,26 @@
+"""Next-line prefetcher — one of the three ensemble members (§5.2)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetch.base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch ``block + 1`` on every observed demand access.
+
+    The Table 7 arm encoding turns it on or off; it has no other state, so
+    its storage cost is a single enable bit.
+    """
+
+    name = "next_line"
+    storage_bytes = 1
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+        if not self.enabled:
+            return []
+        return [block + 1]

@@ -1,0 +1,38 @@
+"""SMT substrate: a cycle-level 2-thread pipeline with shared structures.
+
+Stands in for gem5+SecSMT (§6.1): dynamically shared IQ/ROB/LQ/SQ/IRF, the
+four fetch priority policies of §3.2, occupancy-threshold fetch gating, the
+Choi Hill-Climbing algorithm [17], the 64-policy fetch Priority & Gating
+design space of §3.3, and the Bandit controller of §5.3.
+"""
+
+from repro.smt.fetch_policy import FETCH_PRIORITIES, pick_thread
+from repro.smt.gating import gated_threads
+from repro.smt.hill_climbing import HillClimbing, HillClimbingConfig
+from repro.smt.pg_policy import (
+    ALL_PG_POLICIES,
+    BANDIT_PG_ARMS,
+    CHOI_POLICY,
+    ICOUNT_POLICY,
+    PGPolicy,
+)
+from repro.smt.pipeline import RenameActivity, SMTConfig, SMTPipeline
+from repro.smt.bandit_control import BanditFetchController, SMTBanditConfig
+
+__all__ = [
+    "ALL_PG_POLICIES",
+    "BANDIT_PG_ARMS",
+    "BanditFetchController",
+    "CHOI_POLICY",
+    "FETCH_PRIORITIES",
+    "HillClimbing",
+    "HillClimbingConfig",
+    "ICOUNT_POLICY",
+    "PGPolicy",
+    "RenameActivity",
+    "SMTBanditConfig",
+    "SMTConfig",
+    "SMTPipeline",
+    "gated_threads",
+    "pick_thread",
+]

@@ -1,0 +1,151 @@
+"""Bandit control of the SMT fetch PG policy (§5.3).
+
+The Bandit sits *on top of* the Hill-Climbing algorithm: Hill Climbing keeps
+tuning the per-thread occupancy allowance, while the Bandit switches the
+whole PG policy between its six pruned arms (Table 1). The bandit step is a
+number of Hill-Climbing epochs — longer during the initial round-robin phase
+(``bandit step-RR``) so Hill Climbing has time to converge under each arm and
+the observed reward reflects the arm's true capability. On every arm switch
+the Hill-Climbing state of the outgoing arm is saved and the incoming arm's
+state restored (§5.3, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bandit.base import BanditConfig, MABAlgorithm
+from repro.bandit.ducb import DUCB
+from repro.smt.hill_climbing import HillClimbing, HillClimbingConfig
+from repro.smt.pg_policy import BANDIT_PG_ARMS, PGPolicy
+from repro.smt.pipeline import SMTPipeline
+
+
+@dataclass(frozen=True)
+class SMTBanditConfig:
+    """Table 6 (SMT column): DUCB with γ=0.975, c=0.01, 6 arms."""
+
+    gamma: float = 0.975
+    exploration_c: float = 0.01
+    step_epochs: int = 2
+    step_epochs_rr: int = 32
+    hill_climbing: HillClimbingConfig = field(default_factory=HillClimbingConfig)
+    seed: int = 0
+
+
+class BanditFetchController:
+    """Drives an :class:`SMTPipeline` with Bandit-selected PG policies."""
+
+    def __init__(
+        self,
+        pipeline: SMTPipeline,
+        arms: Sequence[PGPolicy] = BANDIT_PG_ARMS,
+        config: SMTBanditConfig = SMTBanditConfig(),
+        algorithm: Optional[MABAlgorithm] = None,
+        reward_metric=None,
+    ) -> None:
+        """``reward_metric`` is an :data:`repro.smt.rewards.SMTRewardMetric`;
+        the default is the paper's sum-of-IPCs (§6.4)."""
+        self.pipeline = pipeline
+        self.arms: Tuple[PGPolicy, ...] = tuple(arms)
+        self.config = config
+        if reward_metric is None:
+            from repro.smt.rewards import total_ipc
+
+            reward_metric = total_ipc()
+        self.reward_metric = reward_metric
+        if algorithm is None:
+            algorithm = DUCB(
+                BanditConfig(
+                    num_arms=len(self.arms),
+                    gamma=config.gamma,
+                    exploration_c=config.exploration_c,
+                    seed=config.seed,
+                )
+            )
+        if algorithm.num_arms != len(self.arms):
+            raise ValueError("algorithm arm count must match PG arm count")
+        self.algorithm = algorithm
+        self.hill_climbing = HillClimbing(config.hill_climbing)
+        self._saved_hc_state: Dict[int, tuple] = {}
+        self._current_arm: Optional[int] = None
+        self.arm_history: List[int] = []
+
+    # ------------------------------------------------------------------ API
+
+    def run_steps(self, num_steps: int) -> float:
+        """Run ``num_steps`` bandit steps; returns overall IPC."""
+        start_cycle = self.pipeline.cycle
+        start_committed = self.pipeline.committed_total
+        for _ in range(num_steps):
+            self.run_one_step()
+        cycles = self.pipeline.cycle - start_cycle
+        committed = self.pipeline.committed_total - start_committed
+        return committed / cycles if cycles else 0.0
+
+    def run_one_step(self) -> float:
+        """One bandit step: select arm, run its epochs, report the reward."""
+        arm = self.algorithm.select_arm()
+        self._apply_arm(arm)
+        epochs = (
+            self.config.step_epochs_rr
+            if self.algorithm.in_round_robin_phase
+            else self.config.step_epochs
+        )
+        step_ipc = self._run_epochs(epochs)
+        self.algorithm.observe(step_ipc)
+        self.arm_history.append(arm)
+        return step_ipc
+
+    # -------------------------------------------------------------- internals
+
+    def _apply_arm(self, arm: int) -> None:
+        if arm == self._current_arm:
+            return
+        if self._current_arm is not None:
+            self._saved_hc_state[self._current_arm] = self.hill_climbing.state()
+        saved = self._saved_hc_state.get(arm)
+        if saved is not None:
+            self.hill_climbing.restore(saved)
+        else:
+            self.hill_climbing = HillClimbing(self.config.hill_climbing)
+        self._current_arm = arm
+        self.pipeline.set_policy(self.arms[arm])
+
+    def _run_epochs(self, epochs: int) -> float:
+        epoch_cycles = self.config.hill_climbing.epoch_cycles
+        start = self.pipeline.per_thread_committed()
+        for _ in range(epochs):
+            self.pipeline.set_allowances(self.hill_climbing.allowances)
+            epoch_ipc = self.pipeline.run(epoch_cycles)
+            self.hill_climbing.end_epoch(epoch_ipc)
+        end = self.pipeline.per_thread_committed()
+        deltas = [after - before for before, after in zip(start, end)]
+        return self.reward_metric(deltas, epochs * epoch_cycles)
+
+
+def run_static_policy(
+    pipeline: SMTPipeline,
+    policy: PGPolicy,
+    epochs: int,
+    hc_config: Optional[HillClimbingConfig] = None,
+) -> float:
+    """Run a fixed PG policy with Hill Climbing active; returns overall IPC.
+
+    This is the harness behind the Choi baseline, plain ICount, and the
+    best-static-arm oracle of Table 9 and Figures 5/13.
+    """
+    if hc_config is None:
+        hc_config = HillClimbingConfig()
+    hill_climbing = HillClimbing(hc_config)
+    pipeline.set_policy(policy)
+    start_cycle = pipeline.cycle
+    start_committed = pipeline.committed_total
+    for _ in range(epochs):
+        pipeline.set_allowances(hill_climbing.allowances)
+        epoch_ipc = pipeline.run(hc_config.epoch_cycles)
+        hill_climbing.end_epoch(epoch_ipc)
+    cycles = pipeline.cycle - start_cycle
+    committed = pipeline.committed_total - start_committed
+    return committed / cycles if cycles else 0.0

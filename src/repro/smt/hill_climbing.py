@@ -1,0 +1,95 @@
+"""Hill-Climbing SMT resource distribution (Choi & Yeung, ISCA 2006 [17]).
+
+The algorithm tunes the per-thread occupancy allowance used by fetch gating.
+Time is divided into epochs; each learning round runs one *trial epoch* per
+candidate setting — the current partition, and the partition shifted by ±δ
+IQ entries toward each thread — measures the performance of each, and moves
+to the best. Optimal thresholds are "mostly temporally stable" ([17], §3.2),
+which is exactly the property that lets a bandit sit on top of this
+algorithm and switch whole PG policies instead.
+
+The implementation supports two threads (the paper's SMT evaluation is
+2-threaded): the partition is fully described by thread 0's allowance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HillClimbingConfig:
+    """Hill-Climbing parameters (Table 6: epoch 64k cycles, δ = 2 IQ entries).
+
+    ``epoch_cycles`` is scaled down in most experiments to keep the Python
+    simulation tractable; EXPERIMENTS.md records the scaling.
+    """
+
+    iq_size: int = 97
+    delta: float = 2.0
+    epoch_cycles: int = 64_000
+    min_allowance: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError(f"delta must be positive, got {self.delta}")
+        if self.min_allowance * 2 > self.iq_size:
+            raise ValueError("min_allowance leaves no room for two threads")
+
+
+class HillClimbing:
+    """Per-epoch trial search over the 2-thread occupancy partition."""
+
+    def __init__(self, config: HillClimbingConfig = HillClimbingConfig()) -> None:
+        self.config = config
+        self._base = config.iq_size / 2.0
+        # Trial schedule: offsets applied to the base partition.
+        self._offsets: Tuple[float, ...] = (0.0, config.delta, -config.delta)
+        self._trial_index = 0
+        self._trial_scores: List[Optional[float]] = [None] * len(self._offsets)
+        self.epochs_run = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def allowances(self) -> Tuple[float, float]:
+        """Current per-thread allowance in IQ entries (thread0, thread1)."""
+        candidate = self._clamp(self._base + self._offsets[self._trial_index])
+        return (candidate, self.config.iq_size - candidate)
+
+    def end_epoch(self, ipc: float) -> None:
+        """Record the epoch's performance and advance the trial schedule."""
+        self._trial_scores[self._trial_index] = ipc
+        self.epochs_run += 1
+        self._trial_index += 1
+        if self._trial_index >= len(self._offsets):
+            self._adopt_best()
+            self._trial_index = 0
+            self._trial_scores = [None] * len(self._offsets)
+
+    def state(self) -> Tuple[float, int, Tuple[Optional[float], ...]]:
+        """Snapshot for per-arm save/restore (§5.3)."""
+        return (self._base, self._trial_index, tuple(self._trial_scores))
+
+    def restore(self, state: Tuple[float, int, Tuple[Optional[float], ...]]) -> None:
+        base, trial_index, scores = state
+        self._base = self._clamp(base)
+        self._trial_index = trial_index
+        self._trial_scores = list(scores)
+
+    # -------------------------------------------------------------- internals
+
+    def _adopt_best(self) -> None:
+        best_index = 0
+        best_score = -1.0
+        for index, score in enumerate(self._trial_scores):
+            if score is not None and score > best_score:
+                best_index = index
+                best_score = score
+        self._base = self._clamp(self._base + self._offsets[best_index])
+
+    def _clamp(self, allowance: float) -> float:
+        low = self.config.min_allowance
+        high = self.config.iq_size - self.config.min_allowance
+        return min(max(allowance, low), high)

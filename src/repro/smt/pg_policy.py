@@ -1,0 +1,101 @@
+"""Fetch Priority & Gating (PG) policies — the §3.3 design space.
+
+A PG policy is written ``X_b3b2b1b0`` where ``X`` is the fetch priority
+policy (BrC, IC, LSQC, or RR) and the bits say whether fetch gating monitors
+the occupancy of the IQ, LSQ, ROB, and IRF respectively (Table 1). There are
+4 × 2⁴ = 64 policies; the paper prunes the Bandit's arms to the six of
+Table 1. ``IC_1011`` is the Choi policy and ``IC_0000`` plain ICount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Fetch priority mnemonics, in the paper's order.
+PRIORITY_NAMES: Tuple[str, ...] = ("BrC", "IC", "LSQC", "RR")
+
+
+@dataclass(frozen=True)
+class PGPolicy:
+    """One fetch Priority & Gating policy."""
+
+    priority: str
+    gate_iq: bool
+    gate_lsq: bool
+    gate_rob: bool
+    gate_irf: bool
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITY_NAMES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; known: {PRIORITY_NAMES}"
+            )
+
+    @property
+    def mnemonic(self) -> str:
+        bits = "".join(
+            "1" if flag else "0"
+            for flag in (self.gate_iq, self.gate_lsq, self.gate_rob, self.gate_irf)
+        )
+        return f"{self.priority}_{bits}"
+
+    @property
+    def gates_anything(self) -> bool:
+        return self.gate_iq or self.gate_lsq or self.gate_rob or self.gate_irf
+
+    @classmethod
+    def from_mnemonic(cls, mnemonic: str) -> "PGPolicy":
+        """Parse ``X_b3b2b1b0`` (e.g. ``IC_1011``)."""
+        try:
+            priority, bits = mnemonic.split("_")
+        except ValueError:
+            raise ValueError(f"malformed PG mnemonic {mnemonic!r}") from None
+        if len(bits) != 4 or any(bit not in "01" for bit in bits):
+            raise ValueError(f"malformed gating bits in {mnemonic!r}")
+        return cls(
+            priority=priority,
+            gate_iq=bits[0] == "1",
+            gate_lsq=bits[1] == "1",
+            gate_rob=bits[2] == "1",
+            gate_irf=bits[3] == "1",
+        )
+
+    def __str__(self) -> str:
+        return self.mnemonic
+
+
+def _all_policies() -> Tuple[PGPolicy, ...]:
+    policies = []
+    for priority in PRIORITY_NAMES:
+        for mask in range(16):
+            policies.append(
+                PGPolicy(
+                    priority=priority,
+                    gate_iq=bool(mask & 0b1000),
+                    gate_lsq=bool(mask & 0b0100),
+                    gate_rob=bool(mask & 0b0010),
+                    gate_irf=bool(mask & 0b0001),
+                )
+            )
+    return tuple(policies)
+
+
+#: All 64 PG policies of the §3.3 design space.
+ALL_PG_POLICIES: Tuple[PGPolicy, ...] = _all_policies()
+
+#: The Choi policy [17]: ICount priority, gate on IQ/ROB/IRF occupancy.
+CHOI_POLICY = PGPolicy.from_mnemonic("IC_1011")
+
+#: Plain ICount (Tullsen et al. [74]): no fetch gating at all.
+ICOUNT_POLICY = PGPolicy.from_mnemonic("IC_0000")
+
+#: The six pruned Bandit arms of Table 1 (§6.3).
+BANDIT_PG_ARMS: Tuple[PGPolicy, ...] = (
+    PGPolicy.from_mnemonic("IC_0000"),
+    PGPolicy.from_mnemonic("BrC_1000"),
+    PGPolicy.from_mnemonic("IC_1110"),
+    PGPolicy.from_mnemonic("IC_1111"),
+    PGPolicy.from_mnemonic("LSQC_1111"),
+    PGPolicy.from_mnemonic("RR_1111"),
+)

@@ -1,0 +1,72 @@
+"""Alternative SMT reward metrics (§6.4).
+
+The evaluation uses the *sum of per-thread IPCs* as the Bandit reward and
+notes that other metrics drop in trivially "by simply changing the Bandit
+reward": the average weighted IPC (weighted speedup, Snavely & Tullsen [65])
+and the harmonic mean of weighted IPCs (fairness-aware, Luo et al. [44]).
+This module provides all three as interchangeable callables consumed by
+:class:`~repro.smt.bandit_control.BanditFetchController`.
+
+A metric receives the per-thread committed-instruction deltas and the cycle
+count of the step and returns the scalar reward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+#: Signature: (per_thread_committed, cycles) -> reward.
+SMTRewardMetric = Callable[[Sequence[int], float], float]
+
+
+def total_ipc() -> SMTRewardMetric:
+    """Sum of per-thread IPCs — the paper's default metric."""
+
+    def metric(committed: Sequence[int], cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        return sum(committed) / cycles
+
+    return metric
+
+
+def weighted_ipc(single_thread_ipcs: Sequence[float]) -> SMTRewardMetric:
+    """Average weighted IPC: mean of IPC_i / SingleThreadIPC_i [65]."""
+    baselines = _validate_baselines(single_thread_ipcs)
+
+    def metric(committed: Sequence[int], cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        speedups = [
+            (count / cycles) / baseline
+            for count, baseline in zip(committed, baselines)
+        ]
+        return sum(speedups) / len(speedups)
+
+    return metric
+
+
+def harmonic_weighted_ipc(single_thread_ipcs: Sequence[float]) -> SMTRewardMetric:
+    """Harmonic mean of weighted IPCs — balances throughput and fairness [44]."""
+    baselines = _validate_baselines(single_thread_ipcs)
+
+    def metric(committed: Sequence[int], cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        inverse_sum = 0.0
+        for count, baseline in zip(committed, baselines):
+            if count == 0:
+                return 0.0  # a starved thread zeroes the harmonic mean
+            inverse_sum += baseline * cycles / count
+        return len(baselines) / inverse_sum
+
+    return metric
+
+
+def _validate_baselines(single_thread_ipcs: Sequence[float]) -> Sequence[float]:
+    if not single_thread_ipcs:
+        raise ValueError("need at least one single-thread baseline IPC")
+    for value in single_thread_ipcs:
+        if value <= 0:
+            raise ValueError(f"baseline IPCs must be positive, got {value}")
+    return tuple(single_thread_ipcs)

@@ -1,0 +1,72 @@
+"""Micro-op stream generation from :class:`ThreadProfile` statistics.
+
+Each thread is an endless, seeded stream of micro-ops. A micro-op is a plain
+tuple (kept flat for simulation speed)::
+
+    (kind, dep1_offset, dep2_offset, mispredict)
+
+- ``kind`` — one of the ``KIND_*`` constants below.
+- ``dep*_offset`` — distance (in uops, same thread) back to each producer;
+  0 means no dependence. Drawn geometrically around the profile's
+  ``mean_dep_distance``, which is what sets the thread's ILP.
+- ``mispredict`` — for branches, whether this one will redirect the
+  front end when it resolves.
+
+Load/store service levels (L1/L2/DRAM) are drawn at issue time by the
+pipeline using the same profile, so the uop tuple stays small.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from repro.util.rng import make_rng
+from repro.workloads.smt import ThreadProfile
+
+KIND_ALU = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_BRANCH = 3
+KIND_LONG = 4
+
+KIND_NAMES = ("alu", "load", "store", "branch", "long")
+
+#: Kinds that allocate a physical register at rename (freed at commit).
+REG_WRITING_KINDS = frozenset({KIND_ALU, KIND_LOAD, KIND_LONG})
+
+Uop = Tuple[int, int, int, bool]
+
+
+def uop_stream(profile: ThreadProfile, seed: int = 0) -> Iterator[Uop]:
+    """Endless seeded stream of micro-ops matching ``profile``'s statistics."""
+    rng = make_rng(seed, "uops", profile.name)
+    load_cut = profile.load_fraction
+    store_cut = load_cut + profile.store_fraction
+    branch_cut = store_cut + profile.branch_fraction
+    long_cut = branch_cut + profile.long_op_fraction * (1.0 - branch_cut)
+    mean_dep = max(profile.mean_dep_distance, 1.0)
+    mispredict_rate = profile.branch_mispredict_rate
+    while True:
+        draw = rng.random()
+        if draw < load_cut:
+            kind = KIND_LOAD
+        elif draw < store_cut:
+            kind = KIND_STORE
+        elif draw < branch_cut:
+            kind = KIND_BRANCH
+        elif draw < long_cut:
+            kind = KIND_LONG
+        else:
+            kind = KIND_ALU
+        dep1 = _dep_offset(rng, mean_dep)
+        dep2 = _dep_offset(rng, mean_dep) if rng.random() < 0.4 else 0
+        mispredict = kind == KIND_BRANCH and rng.random() < mispredict_rate
+        yield (kind, dep1, dep2, mispredict)
+
+
+def _dep_offset(rng: random.Random, mean: float) -> int:
+    """Geometric-ish producer distance; 0 = independent (~20% of operands)."""
+    if rng.random() < 0.2:
+        return 0
+    return 1 + min(int(rng.expovariate(1.0 / mean)), 255)

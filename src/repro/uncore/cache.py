@@ -1,0 +1,129 @@
+"""Set-associative cache with LRU replacement and prefetch metadata.
+
+Lines carry a ``prefetched``/``used`` pair so the hierarchy can classify
+prefetches as timely, late, or wrong (Figure 9). Timing lives in the
+hierarchy; the cache itself is purely a contents model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident block."""
+
+    __slots__ = ("block", "last_use", "prefetched", "used", "dirty")
+
+    block: int
+    last_use: int
+    prefetched: bool
+    used: bool
+    dirty: bool
+
+
+class Cache:
+    """A set-associative cache indexed by block number.
+
+    ``lookup`` probes and updates recency; ``insert`` allocates (evicting the
+    LRU line if the set is full) and returns the victim so callers can track
+    wrong prefetches and writebacks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        block_bytes: int = 64,
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or block_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        num_sets, remainder = divmod(size_bytes, ways * block_bytes)
+        if remainder or num_sets == 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible into {ways}-way sets "
+                f"of {block_bytes}B blocks"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.block_bytes = block_bytes
+        self.num_sets = num_sets
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(num_sets)]
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ API
+
+    def _set_for(self, block: int) -> Dict[int, CacheLine]:
+        return self._sets[block % self.num_sets]
+
+    def lookup(self, block: int, *, update: bool = True) -> Optional[CacheLine]:
+        """Probe for ``block``; on a hit, refresh recency and mark it used."""
+        line = self._set_for(block).get(block)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if update:
+            self._stamp += 1
+            line.last_use = self._stamp
+            line.used = True
+        return line
+
+    def contains(self, block: int) -> bool:
+        """Presence check without touching recency or hit/miss counters."""
+        return block in self._set_for(block)
+
+    def insert(
+        self,
+        block: int,
+        *,
+        prefetched: bool = False,
+        dirty: bool = False,
+    ) -> Optional[CacheLine]:
+        """Allocate ``block``; returns the evicted line, if any.
+
+        Re-inserting a resident block refreshes it in place (and returns
+        ``None``) rather than duplicating it.
+        """
+        cache_set = self._set_for(block)
+        self._stamp += 1
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.last_use = self._stamp
+            existing.dirty = existing.dirty or dirty
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cache_set) >= self.ways:
+            victim_block = min(cache_set, key=lambda b: cache_set[b].last_use)
+            victim = cache_set.pop(victim_block)
+        cache_set[block] = CacheLine(
+            block=block,
+            last_use=self._stamp,
+            prefetched=prefetched,
+            used=False,
+            dirty=dirty,
+        )
+        return victim
+
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Remove ``block`` if resident; returns the removed line."""
+        return self._set_for(block).pop(block, None)
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def resident_lines(self):
+        """Iterate over all resident lines (end-of-run accounting)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,69 @@
+"""Miss Status Holding Registers: outstanding-miss tracking and merging.
+
+The MSHR bounds the number of in-flight fills and merges requests to the
+same block: a demand access that finds its block already in flight (for
+example because a prefetch raced ahead of it) simply inherits the existing
+fill's completion time — which is exactly how *late* prefetches recover part
+of the miss latency (Figure 9's classification).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class MSHR:
+    """Tracks in-flight fills as ``block -> (ready_cycle, is_prefetch)``."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"MSHR capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._inflight: Dict[int, Tuple[float, bool]] = {}
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def full(self) -> bool:
+        return len(self._inflight) >= self.capacity
+
+    def lookup(self, block: int) -> Optional[Tuple[float, bool]]:
+        """Return ``(ready_cycle, is_prefetch)`` if ``block`` is in flight."""
+        return self._inflight.get(block)
+
+    def allocate(self, block: int, ready_cycle: float, is_prefetch: bool) -> None:
+        """Track a new in-flight fill. Caller must check :attr:`full` first."""
+        if block in self._inflight:
+            raise ValueError(f"block {block:#x} already in flight")
+        if self.full:
+            raise RuntimeError("MSHR allocation while full")
+        self._inflight[block] = (ready_cycle, is_prefetch)
+        heapq.heappush(self._heap, (ready_cycle, block))
+
+    def promote_to_demand(self, block: int) -> None:
+        """Mark an in-flight prefetch as demanded (a *late* prefetch)."""
+        ready_cycle, _ = self._inflight[block]
+        self._inflight[block] = (ready_cycle, False)
+
+    def drain_completed(
+        self, cycle: float, on_fill: Callable[[int, float, bool], None]
+    ) -> None:
+        """Complete every fill whose ready time has passed.
+
+        ``on_fill(block, ready_cycle, is_prefetch)`` installs the line into
+        the cache; prefetch/demand status reflects any late-prefetch
+        promotion that happened while the fill was in flight.
+        """
+        while self._heap and self._heap[0][0] <= cycle:
+            ready_cycle, block = heapq.heappop(self._heap)
+            entry = self._inflight.pop(block, None)
+            if entry is None:
+                continue  # superseded (promoted entries keep the same key)
+            on_fill(block, entry[0], entry[1])
+
+    def flush(self, on_fill: Callable[[int, float, bool], None]) -> None:
+        """Complete all remaining fills (end of simulation)."""
+        self.drain_completed(float("inf"), on_fill)

@@ -1,0 +1,358 @@
+"""Synthetic memory-trace generators.
+
+Each generator is a seeded, deterministic producer of :class:`TraceRecord`
+lists emulating one access-pattern family observed in the paper's suites:
+
+================  ==============================================================
+Generator          Pattern family it stands in for
+================  ==============================================================
+``stream_trace``   sequential streaming over large arrays (libquantum, lbm,
+                   streamcluster) — streamer-degree arms win
+``strided_trace``  constant per-PC strides larger than a block (milc, wrf,
+                   cactus) — PC-stride arms win
+``pointer_chase``  dependent irregular pointer chasing (mcf, omnetpp, canneal)
+                   — prefetching pollutes; the all-off arm wins
+``region_trace``   recurring spatial footprints inside small regions (soplex,
+                   x264, fluidanimate) — Bingo-style footprint prefetchers win
+``graph_trace``    CSR-style frontier expansion mixing a sequential offset scan
+                   with irregular neighbor loads (Ligra workloads)
+``mixed_trace``    probabilistic blend with a large code/PC footprint
+                   (CloudSuite workloads)
+``phased_trace``   concatenation of segments whose optimal prefetch action
+                   differs — exercises DUCB's phase adaptation (Figure 7, mcf)
+================  ==============================================================
+
+All addresses are byte addresses; generators confine each logical data
+structure to its own region of the address space so that streams do not
+accidentally alias.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.util.rng import make_rng
+from repro.workloads.trace import BLOCK_BYTES, TraceRecord
+
+#: Address-space layout: each data structure gets a 256 MB region.
+_REGION_BYTES = 1 << 28
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Common knobs accepted by every generator.
+
+    ``length`` counts memory accesses (records), not instructions.
+    ``gap_mean`` is the average number of non-memory instructions between
+    accesses; individual gaps are geometric-ish draws so the instruction
+    stream has realistic burstiness.
+    """
+
+    length: int = 50_000
+    seed: int = 0
+    gap_mean: float = 3.0
+    write_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"length must be >= 1, got {self.length}")
+        if self.gap_mean < 0:
+            raise ValueError(f"gap_mean must be >= 0, got {self.gap_mean}")
+        if not 0.0 <= self.write_fraction < 1.0:
+            raise ValueError(
+                f"write_fraction must be in [0, 1), got {self.write_fraction}"
+            )
+
+
+def _gap(rng: random.Random, mean: float) -> int:
+    """Draw a non-memory instruction gap with the requested mean."""
+    if mean <= 0:
+        return 0
+    # Geometric with success prob 1/(mean+1) has mean `mean`.
+    return min(int(rng.expovariate(1.0 / mean)), 255) if mean > 0 else 0
+
+
+def _region_base(index: int) -> int:
+    return (index + 1) * _REGION_BYTES
+
+
+def stream_trace(
+    params: GeneratorParams,
+    num_streams: int = 4,
+    footprint_blocks: int = 1 << 16,
+    backwards_fraction: float = 0.0,
+    element_bytes: int = 8,
+) -> List[TraceRecord]:
+    """Interleaved sequential streams marching through large arrays.
+
+    Streams advance element-by-element (``element_bytes``), so several
+    consecutive accesses land in the same block and hit in the L1 — only
+    block boundaries reach the L2, as in real streaming code.
+    """
+    rng = make_rng(params.seed, "stream")
+    cursors = [0] * num_streams
+    directions = [
+        -1 if rng.random() < backwards_fraction else 1 for _ in range(num_streams)
+    ]
+    footprint_bytes = footprint_blocks * BLOCK_BYTES
+    records: List[TraceRecord] = []
+    for _ in range(params.length):
+        stream = rng.randrange(num_streams)
+        offset = (cursors[stream] * element_bytes) % footprint_bytes
+        address = _region_base(stream) + offset
+        cursors[stream] += directions[stream]
+        if cursors[stream] < 0:
+            cursors[stream] = footprint_bytes // element_bytes - 1
+        pc = 0x400000 + stream * 0x40
+        is_write = rng.random() < params.write_fraction
+        records.append(TraceRecord(pc, address, is_write, _gap(rng, params.gap_mean)))
+    return records
+
+
+def strided_trace(
+    params: GeneratorParams,
+    strides_blocks: Sequence[int] = (3, 5, 7, 2),
+    footprint_blocks: int = 1 << 16,
+) -> List[TraceRecord]:
+    """Per-PC constant strides (in blocks), larger than one line.
+
+    A PC-based stride prefetcher captures each PC's stride independently;
+    pure next-line or stream prefetchers mispredict most of these.
+    """
+    rng = make_rng(params.seed, "strided")
+    num_pcs = len(strides_blocks)
+    cursors = [rng.randrange(footprint_blocks) for _ in range(num_pcs)]
+    records: List[TraceRecord] = []
+    for _ in range(params.length):
+        which = rng.randrange(num_pcs)
+        block = cursors[which] % footprint_blocks
+        address = _region_base(which) + block * BLOCK_BYTES
+        cursors[which] += strides_blocks[which]
+        pc = 0x500000 + which * 0x40
+        is_write = rng.random() < params.write_fraction
+        records.append(TraceRecord(pc, address, is_write, _gap(rng, params.gap_mean)))
+    return records
+
+
+def pointer_chase_trace(
+    params: GeneratorParams,
+    footprint_blocks: int = 1 << 18,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.3,
+    dependent_fraction: float = 0.6,
+) -> List[TraceRecord]:
+    """Dependent irregular accesses over a large footprint.
+
+    A small hot set gives caches something to hit on, but there is no
+    sequential or strided structure for prefetchers to learn — aggressive
+    prefetching only burns bandwidth and pollutes the cache.
+    ``dependent_fraction`` of the cold accesses form a serial pointer chain;
+    the rest are independent walks (real linked-structure codes sustain a
+    little MLP by chasing several lists at once).
+    """
+    rng = make_rng(params.seed, "pointer")
+    hot_blocks = max(1, int(footprint_blocks * hot_fraction))
+    records: List[TraceRecord] = []
+    # Deterministic permutation walk for the cold accesses: a simple LCG over
+    # the footprint gives reproducible, non-repeating "pointer" jumps.
+    state = rng.randrange(footprint_blocks)
+    multiplier = 6364136223846793005
+    for _ in range(params.length):
+        if rng.random() < hot_probability:
+            block = rng.randrange(hot_blocks)
+            dependent = False
+        else:
+            state = (state * multiplier + 1442695040888963407) & 0xFFFFFFFF
+            block = state % footprint_blocks
+            # The next pointer usually comes from the loaded line itself.
+            dependent = rng.random() < dependent_fraction
+        address = _region_base(0) + block * BLOCK_BYTES
+        pc = 0x600000 + (block & 0x3) * 0x40
+        is_write = rng.random() < params.write_fraction
+        records.append(
+            TraceRecord(
+                pc, address, is_write, _gap(rng, params.gap_mean), dependent
+            )
+        )
+    return records
+
+
+def region_trace(
+    params: GeneratorParams,
+    num_regions: int = 512,
+    region_blocks: int = 32,
+    footprint_fraction: float = 0.5,
+    revisit_probability: float = 0.85,
+    accesses_per_block: int = 2,
+) -> List[TraceRecord]:
+    """Recurring spatial footprints inside 2 KB regions.
+
+    Each region has a fixed footprint (a subset of its blocks) that repeats
+    on every visit — the structure Bingo-style footprint prefetchers learn.
+    Visits touch the footprint blocks in order (``accesses_per_block``
+    consecutive touches per line, so the L1 absorbs the repeats), then jump
+    to another region.
+    """
+    rng = make_rng(params.seed, "region")
+    if accesses_per_block < 1:
+        raise ValueError("accesses_per_block must be >= 1")
+    footprints: List[List[int]] = []
+    for region in range(num_regions):
+        local = make_rng(params.seed, "region-fp", region)
+        size = max(2, int(region_blocks * footprint_fraction))
+        blocks = sorted(local.sample(range(region_blocks), size))
+        footprints.append(blocks)
+    records: List[TraceRecord] = []
+    region = rng.randrange(num_regions)
+    offset_index = 0
+    touch = 0
+    while len(records) < params.length:
+        footprint = footprints[region]
+        if offset_index >= len(footprint):
+            offset_index = 0
+            if rng.random() < revisit_probability:
+                region = (region + 1) % num_regions
+            else:
+                region = rng.randrange(num_regions)
+            footprint = footprints[region]
+        block = region * region_blocks + footprint[offset_index]
+        touch += 1
+        if touch >= accesses_per_block:
+            touch = 0
+            offset_index += 1
+        address = _region_base(0) + block * BLOCK_BYTES
+        pc = 0x700000 + (offset_index & 0x7) * 0x40
+        is_write = rng.random() < params.write_fraction
+        records.append(TraceRecord(pc, address, is_write, _gap(rng, params.gap_mean)))
+    return records
+
+
+def graph_trace(
+    params: GeneratorParams,
+    num_vertices: int = 1 << 15,
+    avg_degree: int = 8,
+    frontier_fraction: float = 0.2,
+) -> List[TraceRecord]:
+    """CSR-style graph traversal: sequential offset scan + irregular loads.
+
+    Alternates a streaming pass over the offsets/frontier arrays with
+    data-dependent neighbor accesses — the Ligra pattern where a streamer
+    helps the sequential part but cannot touch the irregular part.
+    """
+    rng = make_rng(params.seed, "graph")
+    records: List[TraceRecord] = []
+    offsets_region = _region_base(0)
+    values_region = _region_base(1)
+    vertex = 0
+    while len(records) < params.length:
+        # Sequential read of the vertex's offset entry.
+        address = offsets_region + vertex * 8
+        records.append(
+            TraceRecord(0x800000, address, False, _gap(rng, params.gap_mean))
+        )
+        degree = max(1, int(rng.expovariate(1.0 / avg_degree)))
+        for _ in range(degree):
+            if len(records) >= params.length:
+                break
+            neighbor = rng.randrange(num_vertices)
+            address = values_region + neighbor * BLOCK_BYTES
+            is_write = rng.random() < params.write_fraction
+            records.append(
+                TraceRecord(
+                    0x800040, address, is_write, _gap(rng, params.gap_mean), True
+                )
+            )
+        vertex = (vertex + 1) % int(num_vertices * frontier_fraction + 1)
+    return records[: params.length]
+
+
+def mixed_trace(
+    params: GeneratorParams,
+    stream_weight: float = 0.4,
+    stride_weight: float = 0.2,
+    random_weight: float = 0.4,
+    pc_footprint: int = 64,
+    footprint_blocks: int = 1 << 17,
+) -> List[TraceRecord]:
+    """Probabilistic blend with a large PC footprint (CloudSuite-like)."""
+    total = stream_weight + stride_weight + random_weight
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    rng = make_rng(params.seed, "mixed")
+    stream_cursor = 0
+    stride_cursor = rng.randrange(footprint_blocks)
+    records: List[TraceRecord] = []
+    for _ in range(params.length):
+        draw = rng.random() * total
+        if draw < stream_weight:
+            # Element-granular streaming: 8 accesses per block.
+            block = (stream_cursor // 8) % footprint_blocks
+            stream_cursor += 1
+            base = _region_base(0)
+        elif draw < stream_weight + stride_weight:
+            block = stride_cursor % footprint_blocks
+            stride_cursor += 6
+            base = _region_base(1)
+        else:
+            block = rng.randrange(footprint_blocks)
+            base = _region_base(2)
+        address = base + block * BLOCK_BYTES
+        pc = 0x900000 + rng.randrange(pc_footprint) * 0x40
+        is_write = rng.random() < params.write_fraction
+        records.append(TraceRecord(pc, address, is_write, _gap(rng, params.gap_mean)))
+    return records
+
+
+def phased_trace(
+    params: GeneratorParams,
+    phases: Sequence[str] = ("stream", "pointer_chase"),
+    phase_params: Dict[str, dict] | None = None,
+) -> List[TraceRecord]:
+    """Concatenate equal-length segments of different pattern families.
+
+    Used to emulate coarse-grained program phases whose optimal prefetch
+    action differs — the scenario where DUCB's forgetting factor pays off
+    and UCB gets stuck (Figure 7's mcf column).
+    """
+    if not phases:
+        raise ValueError("phased_trace requires at least one phase")
+    phase_params = phase_params or {}
+    segment_length = params.length // len(phases)
+    records: List[TraceRecord] = []
+    for index, kind in enumerate(phases):
+        remaining = params.length - len(records)
+        this_length = segment_length if index < len(phases) - 1 else remaining
+        sub = GeneratorParams(
+            length=max(1, this_length),
+            seed=params.seed * 1000 + index,
+            gap_mean=params.gap_mean,
+            write_fraction=params.write_fraction,
+        )
+        generator = GENERATORS[kind]
+        records.extend(generator(sub, **phase_params.get(kind, {})))
+    return records[: params.length]
+
+
+#: Registry mapping pattern names to generator callables.
+GENERATORS: Dict[str, Callable[..., List[TraceRecord]]] = {
+    "stream": stream_trace,
+    "strided": strided_trace,
+    "pointer_chase": pointer_chase_trace,
+    "region": region_trace,
+    "graph": graph_trace,
+    "mixed": mixed_trace,
+    "phased": phased_trace,
+}
+
+
+def generate_trace(kind: str, params: GeneratorParams, **kwargs) -> List[TraceRecord]:
+    """Generate a trace of the given pattern ``kind`` (see :data:`GENERATORS`)."""
+    try:
+        generator = GENERATORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace kind {kind!r}; known: {sorted(GENERATORS)}"
+        ) from None
+    return generator(params, **kwargs)

@@ -1,0 +1,187 @@
+"""Synthetic SMT thread profiles and 2-thread mixes (§6.2, SMT use case).
+
+The paper captures SPEC17 simpoints and runs 226 2-thread combinations of 22
+applications (tune set: 43 mixes from 10 applications). Simpoints are not
+available offline, so each application is replaced by a
+:class:`ThreadProfile` — a statistical model of its instruction mix, ILP, and
+memory behaviour that the SMT pipeline's micro-op generator consumes.
+
+Profiles are constructed to span the axes the paper's analysis identifies as
+decisive (§3.3): store-queue appetite (lbm exhausting SQ entries), ROB-vs-IQ
+asymmetry, branch density (BrC's niche), and load-queue pressure (LSQC's
+niche).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ThreadProfile:
+    """Statistical model of one SPEC17-like thread.
+
+    Fractions partition the dynamic instruction stream; the remainder after
+    loads/stores/branches is plain ALU work. ``mean_dep_distance`` controls
+    ILP: operands are drawn from the previous ~N instructions, so a small
+    value creates serial dependence chains. Memory hit rates describe where
+    loads are served (stores retire through the store queue and drain to the
+    same hierarchy levels).
+    """
+
+    name: str
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.12
+    mean_dep_distance: float = 12.0
+    long_op_fraction: float = 0.05
+    long_op_latency: int = 12
+    l1_hit_rate: float = 0.90
+    l2_hit_rate: float = 0.70
+    branch_mispredict_rate: float = 0.03
+
+    def __post_init__(self) -> None:
+        total = self.load_fraction + self.store_fraction + self.branch_fraction
+        if total >= 1.0:
+            raise ValueError(
+                f"{self.name}: load+store+branch fractions must be < 1, got {total}"
+            )
+        for label, rate in (
+            ("l1_hit_rate", self.l1_hit_rate),
+            ("l2_hit_rate", self.l2_hit_rate),
+            ("branch_mispredict_rate", self.branch_mispredict_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{self.name}: {label} must be in [0, 1], got {rate}")
+
+
+#: Archetypal SPEC17-like profiles. Comments note the behaviour each models.
+_BASE_PROFILES: Tuple[ThreadProfile, ...] = (
+    # Store-heavy, DRAM-bound streaming; aggressively consumes SQ entries
+    # (the lbm behaviour discussed in §3.3 and [71]).
+    ThreadProfile("lbm", load_fraction=0.20, store_fraction=0.38,
+                  branch_fraction=0.04, mean_dep_distance=24.0,
+                  l1_hit_rate=0.45, l2_hit_rate=0.15,
+                  branch_mispredict_rate=0.005),
+    # Pointer-chasing, low ILP, load-latency bound: fills ROB with stalled loads.
+    ThreadProfile("mcf", load_fraction=0.35, store_fraction=0.08,
+                  branch_fraction=0.18, mean_dep_distance=4.0,
+                  l1_hit_rate=0.70, l2_hit_rate=0.35,
+                  branch_mispredict_rate=0.06),
+    # Branchy integer code with a hot working set.
+    ThreadProfile("gcc", load_fraction=0.26, store_fraction=0.12,
+                  branch_fraction=0.22, mean_dep_distance=8.0,
+                  l1_hit_rate=0.94, l2_hit_rate=0.80,
+                  branch_mispredict_rate=0.07),
+    # FP stencil with long dependence chains and long-latency ops: IQ pressure.
+    ThreadProfile("cactuBSSN", load_fraction=0.30, store_fraction=0.12,
+                  branch_fraction=0.03, mean_dep_distance=6.0,
+                  long_op_fraction=0.30, long_op_latency=16,
+                  l1_hit_rate=0.85, l2_hit_rate=0.55,
+                  branch_mispredict_rate=0.004),
+    # Streaming FP with high MLP: many outstanding loads, LQ pressure.
+    ThreadProfile("bwaves", load_fraction=0.38, store_fraction=0.10,
+                  branch_fraction=0.04, mean_dep_distance=32.0,
+                  l1_hit_rate=0.72, l2_hit_rate=0.40,
+                  branch_mispredict_rate=0.004),
+    # High-ILP media kernel: wants raw issue bandwidth.
+    ThreadProfile("x264", load_fraction=0.22, store_fraction=0.10,
+                  branch_fraction=0.08, mean_dep_distance=28.0,
+                  long_op_fraction=0.10, long_op_latency=6,
+                  l1_hit_rate=0.96, l2_hit_rate=0.85,
+                  branch_mispredict_rate=0.02),
+    # Branchy search with a small footprint.
+    ThreadProfile("deepsjeng", load_fraction=0.22, store_fraction=0.10,
+                  branch_fraction=0.20, mean_dep_distance=10.0,
+                  l1_hit_rate=0.97, l2_hit_rate=0.90,
+                  branch_mispredict_rate=0.08),
+    # XML traversal: loads + branches, mid locality.
+    ThreadProfile("xalancbmk", load_fraction=0.32, store_fraction=0.08,
+                  branch_fraction=0.20, mean_dep_distance=7.0,
+                  l1_hit_rate=0.90, l2_hit_rate=0.60,
+                  branch_mispredict_rate=0.05),
+    # Weather stencil: strided FP loads/stores, moderate ILP.
+    ThreadProfile("wrf", load_fraction=0.30, store_fraction=0.16,
+                  branch_fraction=0.06, mean_dep_distance=14.0,
+                  long_op_fraction=0.18, long_op_latency=10,
+                  l1_hit_rate=0.88, l2_hit_rate=0.65,
+                  branch_mispredict_rate=0.01),
+    # Molecular dynamics: compute-dense, cache-resident.
+    ThreadProfile("nab", load_fraction=0.20, store_fraction=0.08,
+                  branch_fraction=0.08, mean_dep_distance=16.0,
+                  long_op_fraction=0.22, long_op_latency=12,
+                  l1_hit_rate=0.97, l2_hit_rate=0.92,
+                  branch_mispredict_rate=0.01),
+)
+
+#: Parameter tweaks that turn the 10 archetypes into the 22 eval profiles
+#: (matching the paper's 22 SPEC17 applications). Each variant perturbs the
+#: memory/ILP knobs enough to shift which PG policy is optimal.
+_VARIANTS: Tuple[Tuple[str, str, dict], ...] = (
+    ("lbm", "fotonik3d", {"store_fraction": 0.24, "l1_hit_rate": 0.68}),
+    ("mcf", "omnetpp", {"l1_hit_rate": 0.82, "branch_fraction": 0.22}),
+    ("gcc", "perlbench", {"branch_fraction": 0.24, "l1_hit_rate": 0.96}),
+    ("gcc", "xz", {"branch_fraction": 0.14, "l1_hit_rate": 0.88,
+                   "mean_dep_distance": 6.0}),
+    ("cactuBSSN", "parest", {"long_op_fraction": 0.2, "l1_hit_rate": 0.9}),
+    ("bwaves", "roms", {"load_fraction": 0.34, "l1_hit_rate": 0.78}),
+    ("bwaves", "cam4", {"mean_dep_distance": 20.0, "l2_hit_rate": 0.55}),
+    ("x264", "imagick", {"long_op_fraction": 0.25, "long_op_latency": 10}),
+    ("x264", "leela", {"branch_fraction": 0.16,
+                       "branch_mispredict_rate": 0.06}),
+    ("deepsjeng", "exchange2", {"branch_mispredict_rate": 0.04,
+                                "l1_hit_rate": 0.99}),
+    ("wrf", "pop2", {"store_fraction": 0.2, "l2_hit_rate": 0.5}),
+    ("nab", "povray", {"long_op_fraction": 0.3, "mean_dep_distance": 10.0}),
+)
+
+
+def _build_profiles() -> Dict[str, ThreadProfile]:
+    profiles = {profile.name: profile for profile in _BASE_PROFILES}
+    for base_name, new_name, overrides in _VARIANTS:
+        base = profiles[base_name]
+        profiles[new_name] = replace(base, name=new_name, **overrides)
+    return profiles
+
+
+_PROFILES: Dict[str, ThreadProfile] = _build_profiles()
+
+#: Names of the 10 tune-set applications (§6.3) and the full 22-app eval set.
+TUNE_APP_NAMES: Tuple[str, ...] = tuple(profile.name for profile in _BASE_PROFILES)
+EVAL_APP_NAMES: Tuple[str, ...] = tuple(_PROFILES)
+
+SMT_MIX_NAMES = {
+    "tune": TUNE_APP_NAMES,
+    "eval": EVAL_APP_NAMES,
+}
+
+
+def thread_profile(name: str) -> ThreadProfile:
+    """Look up a thread profile by application name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SMT application {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+def _pair_mixes(names: Tuple[str, ...], count: int) -> List[Tuple[ThreadProfile, ThreadProfile]]:
+    pairs = list(combinations(names, 2))
+    if len(pairs) < count:
+        raise ValueError(f"only {len(pairs)} pairs available, need {count}")
+    return [
+        (_PROFILES[first], _PROFILES[second]) for first, second in pairs[:count]
+    ]
+
+
+def smt_tune_mixes(count: int = 43) -> List[Tuple[ThreadProfile, ThreadProfile]]:
+    """The 43 2-thread tune mixes built from 10 applications (§6.3)."""
+    return _pair_mixes(TUNE_APP_NAMES, count)
+
+
+def smt_eval_mixes(count: int = 226) -> List[Tuple[ThreadProfile, ThreadProfile]]:
+    """The 226 2-thread evaluation mixes built from 22 applications (§6.2)."""
+    return _pair_mixes(EVAL_APP_NAMES, count)

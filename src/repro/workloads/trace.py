@@ -1,0 +1,121 @@
+"""Memory-trace representation and (de)serialization.
+
+A trace is a sequence of :class:`TraceRecord` values in program order. To
+keep traces compact, non-memory instructions are not materialized: each
+record carries ``inst_gap``, the number of non-memory instructions the core
+executes *before* this access. The trace-driven core model
+(:mod:`repro.core_model`) charges those instructions against the commit
+width, exactly as ChampSim-style simulators replay filtered traces.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+#: Cache block size used throughout the reproduction (64-byte lines).
+BLOCK_SHIFT = 6
+BLOCK_BYTES = 1 << BLOCK_SHIFT
+
+
+class TraceRecord(NamedTuple):
+    """One memory access in program order.
+
+    ``dependent`` marks loads whose address depends on the previous load's
+    data (pointer chasing); the core model serializes them, collapsing MLP.
+    """
+
+    pc: int
+    address: int
+    is_write: bool
+    inst_gap: int
+    dependent: bool = False
+
+    @property
+    def block(self) -> int:
+        """Cache-block number of the access."""
+        return self.address >> BLOCK_SHIFT
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace (used by tests and reporting)."""
+
+    accesses: int
+    instructions: int
+    unique_blocks: int
+    unique_pcs: int
+    write_fraction: float
+
+
+def trace_stats(trace: Iterable[TraceRecord]) -> TraceStats:
+    """Compute :class:`TraceStats` in one pass."""
+    accesses = 0
+    instructions = 0
+    writes = 0
+    blocks = set()
+    pcs = set()
+    for record in trace:
+        accesses += 1
+        instructions += record.inst_gap + 1
+        if record.is_write:
+            writes += 1
+        blocks.add(record.address >> BLOCK_SHIFT)
+        pcs.add(record.pc)
+    write_fraction = writes / accesses if accesses else 0.0
+    return TraceStats(accesses, instructions, len(blocks), len(pcs), write_fraction)
+
+
+_RECORD_STRUCT = struct.Struct("<QQBHB")
+
+
+def write_trace(trace: Iterable[TraceRecord], path: str | Path) -> int:
+    """Serialize a trace to a gzip-compressed binary file.
+
+    Returns the number of records written. Format: little-endian
+    ``(pc: u64, address: u64, is_write: u8, inst_gap: u16, dependent: u8)``
+    per record.
+    """
+    count = 0
+    with gzip.open(Path(path), "wb") as handle:
+        for record in trace:
+            handle.write(
+                _RECORD_STRUCT.pack(
+                    record.pc,
+                    record.address,
+                    1 if record.is_write else 0,
+                    min(record.inst_gap, 0xFFFF),
+                    1 if record.dependent else 0,
+                )
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> List[TraceRecord]:
+    """Read a trace previously written by :func:`write_trace`."""
+    records: List[TraceRecord] = []
+    size = _RECORD_STRUCT.size
+    with gzip.open(Path(path), "rb") as handle:
+        while True:
+            chunk = handle.read(size)
+            if not chunk:
+                break
+            if len(chunk) != size:
+                raise ValueError(f"truncated trace file: {path}")
+            pc, address, is_write, inst_gap, dependent = _RECORD_STRUCT.unpack(chunk)
+            records.append(
+                TraceRecord(pc, address, bool(is_write), inst_gap, bool(dependent))
+            )
+    return records
+
+
+def concatenate(traces: Iterable[List[TraceRecord]]) -> List[TraceRecord]:
+    """Concatenate traces — used to extend short traces to length (§6.2)."""
+    result: List[TraceRecord] = []
+    for trace in traces:
+        result.extend(trace)
+    return result

@@ -1,0 +1,282 @@
+"""Algorithm-specific tests: Table 3 math and behavioral properties."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bandit.base import BanditConfig
+from repro.bandit.ducb import DUCB
+from repro.bandit.epsilon_greedy import EpsilonGreedy
+from repro.bandit.heuristics import BestStatic, FixedArm, Periodic, Single
+from repro.bandit.ucb import UCB
+
+
+def finish_rr(algorithm, rewards):
+    """Complete the initial round-robin phase with the given raw rewards."""
+    for reward in rewards:
+        algorithm.select_arm()
+        algorithm.observe(reward)
+
+
+class TestEpsilonGreedy:
+    def test_pure_exploitation_when_epsilon_zero(self):
+        algorithm = EpsilonGreedy(
+            BanditConfig(num_arms=3, epsilon=0.0, normalize_rewards=False)
+        )
+        finish_rr(algorithm, [0.1, 0.9, 0.2])
+        for _ in range(20):
+            assert algorithm.select_arm() == 1
+            algorithm.observe(0.9)
+
+    def test_pure_exploration_when_epsilon_one(self):
+        algorithm = EpsilonGreedy(
+            BanditConfig(num_arms=4, epsilon=1.0, seed=3,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [1.0, 0.0, 0.0, 0.0])
+        picks = set()
+        for _ in range(100):
+            arm = algorithm.select_arm()
+            picks.add(arm)
+            algorithm.observe(0.0)
+        assert picks == {0, 1, 2, 3}
+
+    def test_running_average_update(self):
+        algorithm = EpsilonGreedy(
+            BanditConfig(num_arms=1, epsilon=0.0, normalize_rewards=False)
+        )
+        finish_rr(algorithm, [1.0])
+        for reward in (2.0, 3.0):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        # Average of 1, 2, 3.
+        assert algorithm.reward_estimates()[0] == pytest.approx(2.0)
+        assert algorithm.selection_counts()[0] == 3.0
+
+    def test_exploration_is_non_decaying(self):
+        """ε-Greedy explores at a constant rate — §4.2's criticism."""
+        algorithm = EpsilonGreedy(
+            BanditConfig(num_arms=2, epsilon=0.5, seed=11,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [1.0, 0.0])
+        late_nonbest = 0
+        for step in range(2000):
+            arm = algorithm.select_arm()
+            if step >= 1000 and arm != 0:
+                late_nonbest += 1
+            algorithm.observe(1.0 if arm == 0 else 0.0)
+        # Expected ~0.25 of late steps pick the bad arm (ε/2).
+        assert late_nonbest > 150
+
+
+class TestUCB:
+    def test_hand_computed_potentials(self):
+        algorithm = UCB(
+            BanditConfig(num_arms=2, exploration_c=1.0,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [0.5, 0.4])
+        # After RR: n = [1, 1], n_total = 2, r = [0.5, 0.4].
+        bonus = math.sqrt(math.log(2.0) / 1.0)
+        potentials = algorithm.potentials()
+        assert potentials[0] == pytest.approx(0.5 + bonus)
+        assert potentials[1] == pytest.approx(0.4 + bonus)
+        assert algorithm.select_arm() == 0
+
+    def test_zero_count_arm_gets_infinite_potential(self):
+        algorithm = UCB(BanditConfig(num_arms=2, normalize_rewards=False))
+        finish_rr(algorithm, [0.5, 0.5])
+        algorithm.arms[1].selections = 0.0
+        assert algorithm.potentials()[1] == math.inf
+
+    def test_exploration_decays(self):
+        """ln(n)/n → 0: after many steps UCB almost always exploits."""
+        algorithm = UCB(
+            BanditConfig(num_arms=2, exploration_c=0.3, seed=5,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [1.0, 0.5])
+        late_nonbest = 0
+        for step in range(2000):
+            arm = algorithm.select_arm()
+            if step >= 1500 and arm != 0:
+                late_nonbest += 1
+            algorithm.observe(1.0 if arm == 0 else 0.5)
+        assert late_nonbest < 25
+
+    def test_prefers_undersampled_arm(self):
+        algorithm = UCB(
+            BanditConfig(num_arms=2, exploration_c=1.0,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [0.5, 0.5])
+        # Inflate arm 0's count: its bonus shrinks, arm 1 gets picked.
+        algorithm.arms[0].selections = 50.0
+        algorithm.n_total = 51.0
+        assert algorithm.select_arm() == 1
+
+
+class TestDUCB:
+    def test_discount_applied_to_all_arms(self):
+        algorithm = DUCB(
+            BanditConfig(num_arms=3, gamma=0.5, exploration_c=0.0,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [1.0, 0.5, 0.2])
+        algorithm.select_arm()  # exploits arm 0: all counts halve, arm0 +1
+        algorithm.observe(1.0)
+        # After RR: n = [1, 1, 1]. updSels: all ×γ → [.5, .5, .5], arm0 +1.
+        counts = algorithm.selection_counts()
+        assert counts[0] == pytest.approx(1.5)
+        assert counts[1] == pytest.approx(0.5)
+        assert counts[2] == pytest.approx(0.5)
+        assert algorithm.n_total == pytest.approx(2.5)
+
+    def test_n_total_is_sum_of_counts(self):
+        algorithm = DUCB(
+            BanditConfig(num_arms=4, gamma=0.9, exploration_c=0.2, seed=2,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [0.4, 0.6, 0.5, 0.3])
+        for _ in range(50):
+            arm = algorithm.select_arm()
+            algorithm.observe(random.Random(arm).random())
+        assert algorithm.n_total == pytest.approx(
+            sum(algorithm.selection_counts()), rel=1e-9
+        )
+
+    def test_counts_converge_to_discount_horizon(self):
+        """Σ γ^k = 1/(1-γ): total discounted count saturates."""
+        gamma = 0.9
+        algorithm = DUCB(
+            BanditConfig(num_arms=2, gamma=gamma, exploration_c=0.0,
+                         normalize_rewards=False)
+        )
+        finish_rr(algorithm, [1.0, 0.1])
+        for _ in range(300):
+            algorithm.select_arm()
+            algorithm.observe(1.0)
+        assert algorithm.n_total <= 1.0 / (1.0 - gamma) + 2.0
+
+    def test_adapts_to_phase_change_where_ucb_does_not(self):
+        """The §4.2(c) property: DUCB recovers after the optimal arm flips."""
+
+        def run(cls, gamma):
+            config = BanditConfig(
+                num_arms=2, gamma=gamma, exploration_c=0.3, seed=9,
+                normalize_rewards=False,
+            )
+            algorithm = cls(config)
+            finish_rr(algorithm, [1.0, 0.2])
+            picks_after_change = []
+            for step in range(600):
+                arm = algorithm.select_arm()
+                if step < 300:
+                    reward = 1.0 if arm == 0 else 0.2
+                else:
+                    reward = 0.2 if arm == 0 else 1.0
+                    picks_after_change.append(arm)
+                algorithm.observe(reward)
+            # Adaptation speed: share of new-best picks right after the flip.
+            early = picks_after_change[:60]
+            return early.count(1) / len(early)
+
+        ducb_adaptation = run(DUCB, gamma=0.9)
+        ucb_adaptation = run(UCB, gamma=1.0)
+        assert ducb_adaptation > 0.5
+        assert ducb_adaptation > ucb_adaptation
+
+    @settings(max_examples=25, deadline=None)
+    @given(gamma=st.floats(min_value=0.5, max_value=0.999),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_counts_stay_positive_and_bounded(self, gamma, seed):
+        algorithm = DUCB(
+            BanditConfig(num_arms=3, gamma=gamma, exploration_c=0.1,
+                         seed=seed, normalize_rewards=False)
+        )
+        finish_rr(algorithm, [0.5, 0.5, 0.5])
+        for _ in range(100):
+            algorithm.select_arm()
+            algorithm.observe(0.5)
+        for count in algorithm.selection_counts():
+            assert 0.0 <= count <= 1.0 / (1.0 - gamma) + 2.0
+
+
+class TestSingle:
+    def test_never_changes_arm_after_rr(self):
+        algorithm = Single(BanditConfig(num_arms=3, normalize_rewards=False))
+        finish_rr(algorithm, [0.1, 0.8, 0.3])
+        for _ in range(30):
+            assert algorithm.select_arm() == 1
+            # Even terrible rewards do not dislodge the choice.
+            algorithm.observe(0.0)
+
+    def test_estimates_frozen(self):
+        algorithm = Single(BanditConfig(num_arms=2, normalize_rewards=False))
+        finish_rr(algorithm, [0.9, 0.1])
+        frozen = algorithm.reward_estimates()
+        for _ in range(10):
+            algorithm.select_arm()
+            algorithm.observe(0.0)
+        assert algorithm.reward_estimates() == frozen
+
+
+class TestPeriodic:
+    def test_sweeps_on_schedule(self):
+        algorithm = Periodic(
+            BanditConfig(num_arms=3, normalize_rewards=False),
+            period=5, buffer_length=2,
+        )
+        finish_rr(algorithm, [0.5, 0.9, 0.1])
+        picks = []
+        for _ in range(40):
+            arm = algorithm.select_arm()
+            picks.append(arm)
+            algorithm.observe({0: 0.5, 1: 0.9, 2: 0.1}[arm])
+        # Sweeps guarantee every arm is revisited periodically.
+        assert set(picks) == {0, 1, 2}
+        # And exploitation favors the best arm between sweeps.
+        assert picks.count(1) > picks.count(2)
+
+    def test_moving_average_buffer_adapts(self):
+        algorithm = Periodic(
+            BanditConfig(num_arms=2, normalize_rewards=False),
+            period=4, buffer_length=2,
+        )
+        finish_rr(algorithm, [0.9, 0.1])
+        # Arm 0 degrades; the bounded buffer forgets its good past.
+        for _ in range(60):
+            arm = algorithm.select_arm()
+            algorithm.observe(0.05 if arm == 0 else 0.8)
+        tail = algorithm.selection_history[-8:]
+        assert tail.count(1) > tail.count(0)
+
+    def test_rejects_period_shorter_than_sweep(self):
+        with pytest.raises(ValueError):
+            Periodic(BanditConfig(num_arms=5), period=3)
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            Periodic(BanditConfig(num_arms=2), period=10, buffer_length=0)
+
+
+class TestFixedArm:
+    def test_always_plays_fixed_arm(self):
+        algorithm = FixedArm(BanditConfig(num_arms=4), arm=2)
+        for _ in range(10):
+            assert algorithm.select_arm() == 2
+            algorithm.observe(1.0)
+
+    def test_no_round_robin_phase(self):
+        algorithm = FixedArm(BanditConfig(num_arms=4), arm=0)
+        assert not algorithm.in_round_robin_phase
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FixedArm(BanditConfig(num_arms=2), arm=5)
+
+    def test_best_static_alias(self):
+        assert BestStatic is FixedArm

@@ -1,0 +1,193 @@
+"""Tests for the Algorithm 1 template in repro.bandit.base."""
+
+import pytest
+
+from repro.bandit.base import ArmEstimate, BanditConfig, MABAlgorithm
+from repro.bandit.ducb import DUCB
+from repro.bandit.epsilon_greedy import EpsilonGreedy
+from repro.bandit.ucb import UCB
+
+
+def drive(algorithm, rewards):
+    """Feed a fixed reward per arm for a number of steps; returns selections."""
+    selections = []
+    for reward_fn in rewards:
+        arm = algorithm.select_arm()
+        selections.append(arm)
+        algorithm.observe(reward_fn(arm))
+    return selections
+
+
+class TestBanditConfig:
+    def test_rejects_zero_arms(self):
+        with pytest.raises(ValueError):
+            BanditConfig(num_arms=0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            BanditConfig(num_arms=2, epsilon=1.5)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            BanditConfig(num_arms=2, gamma=0.0)
+        with pytest.raises(ValueError):
+            BanditConfig(num_arms=2, gamma=1.5)
+
+    def test_rejects_negative_c(self):
+        with pytest.raises(ValueError):
+            BanditConfig(num_arms=2, exploration_c=-0.1)
+
+    def test_rejects_bad_restart_prob(self):
+        with pytest.raises(ValueError):
+            BanditConfig(num_arms=2, rr_restart_prob=2.0)
+
+
+class TestRoundRobinPhase:
+    def test_initial_phase_tries_every_arm_once(self):
+        algorithm = UCB(BanditConfig(num_arms=5))
+        seen = []
+        for _ in range(5):
+            assert algorithm.in_round_robin_phase
+            arm = algorithm.select_arm()
+            seen.append(arm)
+            algorithm.observe(1.0)
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        assert not algorithm.in_round_robin_phase
+
+    def test_initial_rewards_recorded(self):
+        algorithm = UCB(
+            BanditConfig(num_arms=3, normalize_rewards=False)
+        )
+        for reward in (1.0, 2.0, 3.0):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        assert algorithm.reward_estimates() == [1.0, 2.0, 3.0]
+        assert algorithm.selection_counts() == [1.0, 1.0, 1.0]
+        assert algorithm.n_total == 3.0
+
+    def test_protocol_enforced(self):
+        algorithm = UCB(BanditConfig(num_arms=2))
+        with pytest.raises(RuntimeError):
+            algorithm.observe(1.0)
+        algorithm.select_arm()
+        with pytest.raises(RuntimeError):
+            algorithm.select_arm()
+
+
+class TestRewardNormalization:
+    def test_estimates_scaled_by_r_avg(self):
+        algorithm = UCB(BanditConfig(num_arms=2, normalize_rewards=True))
+        for reward in (2.0, 4.0):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        # r_avg = 3.0; stored estimates are 2/3 and 4/3.
+        assert algorithm.reward_estimates() == pytest.approx([2 / 3, 4 / 3])
+
+    def test_subsequent_rewards_normalized(self):
+        algorithm = UCB(
+            BanditConfig(num_arms=2, exploration_c=0.0, normalize_rewards=True)
+        )
+        for reward in (2.0, 4.0):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        arm = algorithm.select_arm()
+        assert arm == 1  # highest normalized estimate
+        algorithm.observe(4.0)
+        # Running average stays at 4/3 if the same raw reward repeats.
+        assert algorithm.reward_estimates()[1] == pytest.approx(4 / 3)
+
+    def test_zero_rewards_disable_normalization(self):
+        algorithm = UCB(BanditConfig(num_arms=2, normalize_rewards=True))
+        for _ in range(2):
+            algorithm.select_arm()
+            algorithm.observe(0.0)
+        # Degenerate r_avg: estimates stay raw zeros, no crash.
+        assert algorithm.reward_estimates() == [0.0, 0.0]
+        algorithm.select_arm()
+        algorithm.observe(1.0)
+
+    def test_scale_invariance_of_selection(self):
+        """The §4.3 modification: scaling all rewards must not change choices."""
+
+        def run(scale):
+            algorithm = UCB(
+                BanditConfig(num_arms=3, exploration_c=0.05, seed=1)
+            )
+            rewards = [0.2, 0.5, 0.3]
+            picks = []
+            for _ in range(40):
+                arm = algorithm.select_arm()
+                picks.append(arm)
+                algorithm.observe(rewards[arm] * scale)
+            return picks
+
+        assert run(1.0) == run(100.0)
+
+
+class TestRoundRobinRestart:
+    def test_restart_resweeps_all_arms(self):
+        algorithm = DUCB(
+            BanditConfig(num_arms=4, rr_restart_prob=1.0, seed=0)
+        )
+        for _ in range(4):
+            algorithm.select_arm()
+            algorithm.observe(1.0)
+        # With probability 1 the next selections are a fresh RR sweep.
+        sweep = []
+        for _ in range(4):
+            sweep.append(algorithm.select_arm())
+            algorithm.observe(1.0)
+        assert sorted(sweep) == [0, 1, 2, 3]
+
+    def test_restart_keeps_statistics(self):
+        algorithm = DUCB(
+            BanditConfig(num_arms=2, rr_restart_prob=1.0, seed=0,
+                         normalize_rewards=False)
+        )
+        for reward in (1.0, 5.0):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        before = algorithm.reward_estimates()
+        algorithm.select_arm()
+        algorithm.observe(5.0)
+        # Estimates evolve but are not reset to zero.
+        assert all(estimate > 0.0 for estimate in algorithm.reward_estimates())
+        assert before[1] == pytest.approx(5.0)
+
+    def test_no_restart_when_prob_zero(self):
+        algorithm = DUCB(
+            BanditConfig(num_arms=3, rr_restart_prob=0.0, seed=0,
+                         exploration_c=0.0, normalize_rewards=False)
+        )
+        for reward in (0.1, 1.0, 0.2):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        picks = set()
+        for _ in range(10):
+            arm = algorithm.select_arm()
+            picks.add(arm)
+            algorithm.observe(1.0 if arm == 1 else 0.1)
+        assert picks == {1}
+
+
+class TestBestArm:
+    def test_best_arm_tracks_estimates(self):
+        algorithm = UCB(BanditConfig(num_arms=3, normalize_rewards=False))
+        for reward in (0.3, 0.9, 0.5):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        assert algorithm.best_arm() == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        algorithm = UCB(BanditConfig(num_arms=3, normalize_rewards=False))
+        for reward in (0.5, 0.5, 0.5):
+            algorithm.select_arm()
+            algorithm.observe(reward)
+        assert algorithm.best_arm() == 0
+
+    def test_selection_history_recorded(self):
+        algorithm = EpsilonGreedy(BanditConfig(num_arms=2, epsilon=0.0))
+        for _ in range(6):
+            algorithm.select_arm()
+            algorithm.observe(1.0)
+        assert len(algorithm.selection_history) == 6

@@ -1,0 +1,126 @@
+"""Tests for the contextual bandit and the §9 classifier-per-class bandit."""
+
+import pytest
+
+from repro.bandit.contextual import (
+    AccessPatternClassifier,
+    ClassifierBandit,
+    ContextualBandit,
+)
+
+
+class TestContextualBandit:
+    def test_per_context_learning(self):
+        bandit = ContextualBandit(num_arms=2, max_contexts=4)
+        # Context A prefers arm 0; context B prefers arm 1.
+        for _ in range(200):
+            arm = bandit.select_arm("A")
+            bandit.observe(1.0 if arm == 0 else 0.1)
+            arm = bandit.select_arm("B")
+            bandit.observe(1.0 if arm == 1 else 0.1)
+        a_picks = [bandit.select_arm("A")]
+        bandit.observe(1.0 if a_picks[0] == 0 else 0.1)
+        b_picks = [bandit.select_arm("B")]
+        bandit.observe(1.0 if b_picks[0] == 1 else 0.1)
+        assert bandit._learners["A"].best_arm() == 0
+        assert bandit._learners["B"].best_arm() == 1
+
+    def test_protocol_enforced(self):
+        bandit = ContextualBandit(num_arms=2)
+        with pytest.raises(RuntimeError):
+            bandit.observe(1.0)
+        bandit.select_arm("x")
+        with pytest.raises(RuntimeError):
+            bandit.select_arm("x")
+
+    def test_context_capacity_lru(self):
+        bandit = ContextualBandit(num_arms=2, max_contexts=2)
+        for context in ("a", "b", "c"):
+            bandit.select_arm(context)
+            bandit.observe(0.5)
+        assert bandit.num_contexts == 2
+        assert "a" not in bandit._learners
+
+    def test_storage_scales_with_contexts(self):
+        bandit = ContextualBandit(num_arms=4, max_contexts=8)
+        for context in range(3):
+            bandit.select_arm(context)
+            bandit.observe(0.5)
+        assert bandit.storage_bytes() == 3 * 4 * 8
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ContextualBandit(num_arms=0)
+        with pytest.raises(ValueError):
+            ContextualBandit(num_arms=2, max_contexts=0)
+
+
+class TestAccessPatternClassifier:
+    def test_stream_detected(self):
+        classifier = AccessPatternClassifier(window=32)
+        label = "irregular"
+        for block in range(100):
+            label = classifier.observe(0x10, block)
+        assert label == "stream"
+
+    def test_stride_detected(self):
+        classifier = AccessPatternClassifier(window=32)
+        label = "irregular"
+        for i in range(100):
+            label = classifier.observe(0x10, i * 5)
+        assert label == "stride"
+
+    def test_irregular_detected(self):
+        import random
+
+        rng = random.Random(2)
+        classifier = AccessPatternClassifier(window=32)
+        label = "stream"
+        for _ in range(100):
+            label = classifier.observe(0x10, rng.randrange(10**6))
+        assert label == "irregular"
+
+    def test_class_changes_with_phase(self):
+        classifier = AccessPatternClassifier(window=32)
+        for block in range(64):
+            classifier.observe(0x10, block)
+        assert classifier.current_class == "stream"
+        import random
+
+        rng = random.Random(3)
+        for _ in range(64):
+            classifier.observe(0x10, rng.randrange(10**6))
+        assert classifier.current_class == "irregular"
+
+
+class TestClassifierBandit:
+    def test_separate_learning_per_class(self):
+        bandit = ClassifierBandit(num_arms=2, seed=1)
+        # Stream phase rewards arm 0; irregular phase rewards arm 1.
+        import random
+
+        rng = random.Random(5)
+        block = 0
+        for step in range(400):
+            if step % 2 == 0:
+                for _ in range(40):
+                    block += 1
+                    bandit.observe_access(0x1, block)
+            else:
+                for _ in range(40):
+                    bandit.observe_access(0x1, rng.randrange(10**7))
+            arm = bandit.select_arm()
+            current = bandit.classifier.current_class
+            good = 0 if current == "stream" else 1
+            bandit.observe(1.0 if arm == good else 0.2)
+        learners = bandit.contextual._learners
+        assert "stream" in learners and "irregular" in learners
+        assert learners["stream"].best_arm() == 0
+        assert learners["irregular"].best_arm() == 1
+
+    def test_storage_bounded_by_class_count(self):
+        bandit = ClassifierBandit(num_arms=11)
+        for _ in range(5):
+            bandit.select_arm()
+            bandit.observe(0.5)
+        assert bandit.storage_bytes() <= 3 * 11 * 8

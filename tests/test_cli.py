@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig02", "fig05", "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "table08", "table09",
+            "sec65", "traces",
+        }
+        assert set(COMMANDS) == expected
+        assert all(callable(handler) for handler in COMMANDS.values())
+
+    def test_parses_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig08", "--trace-length", "5000"])
+        assert args.command == "fig08"
+        assert args.trace_length == 5000
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "table09" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_sec65_runs(self, capsys):
+        assert main(["sec65"]) == 0
+        out = capsys.readouterr().out
+        assert '"storage_bytes": 88' in out
+
+    def test_fig02_runs_small(self, capsys):
+        assert main(["fig02", "--trace-length", "1500"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_traces_export(self, tmp_path, capsys):
+        from repro.workloads.trace import read_trace
+
+        assert main(["traces", "--trace-length", "100",
+                     "--output-dir", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("*.trace.gz"))
+        assert len(files) == 38  # every workload in every suite
+        assert len(read_trace(files[0])) == 100

@@ -1,0 +1,130 @@
+"""Tiny-scale smoke tests for every figure/table entry point.
+
+The benchmark harness runs these at reproduction scale; here we only verify
+that each function produces a structurally sound result on minimal inputs,
+so regressions in the experiment layer are caught by ``pytest tests/``.
+"""
+
+import pytest
+
+import repro.experiments.figures as figures
+from repro.experiments.smt import SMTScale
+from repro.workloads.suites import tune_specs
+
+
+TINY_SMT = SMTScale(epoch_cycles=150, total_epochs=16, step_epochs=1,
+                    step_epochs_rr=1)
+TINY_TRACE = 2500
+TINY_WORKLOADS = tune_specs()[:2]
+
+
+class TestPrefetchFigures:
+    def test_fig02(self):
+        result = figures.fig02_pythia_homogeneity(
+            trace_length=TINY_TRACE, workloads=["bwaves06", "gcc06"]
+        )
+        assert set(result) == {"bwaves06", "gcc06", "average"}
+        for top1, top2 in result.values():
+            assert 0.0 <= top2 <= top1 <= 1.0
+
+    def test_table08(self):
+        result = figures.table08_prefetch_tuneset(
+            trace_length=TINY_TRACE, workloads=TINY_WORKLOADS
+        )
+        assert set(result) == {
+            "Pythia", "Single", "Periodic", "eGreedy", "UCB", "DUCB"
+        }
+        for summary in result.values():
+            assert summary.minimum <= summary.gmean <= summary.maximum
+
+    def test_fig08_structure(self):
+        result = figures.fig08_singlecore(
+            trace_length=TINY_TRACE, suites=["CloudSuite"]
+        )
+        assert "all" in result and "CloudSuite" in result
+        for values in result.values():
+            assert set(values) == {"stride", "bingo", "mlop", "pythia",
+                                   "bandit"}
+            for value in values.values():
+                assert value > 0
+
+    def test_fig09_structure(self):
+        result = figures.fig09_breakdown(
+            trace_length=TINY_TRACE, workloads=TINY_WORKLOADS
+        )
+        assert "bandit" in result and "bandit_ideal" in result
+        for metrics in result.values():
+            assert set(metrics) == {"llc_misses", "timely", "late", "wrong"}
+
+    def test_fig10_structure(self):
+        result = figures.fig10_bandwidth_sweep(
+            trace_length=TINY_TRACE,
+            mtps_values=(600.0, 2400.0),
+            workloads=TINY_WORKLOADS,
+        )
+        assert set(result) == {600.0, 2400.0}
+        for values in result.values():
+            assert values["pythia"] > 0 and values["bandit"] > 0
+
+    def test_fig11_uses_alt_hierarchy(self):
+        result = figures.fig11_alt_hierarchy(
+            trace_length=TINY_TRACE, suites=["CloudSuite"]
+        )
+        assert "all" in result
+
+    def test_fig12_structure(self):
+        result = figures.fig12_multilevel(
+            trace_length=TINY_TRACE, workloads=TINY_WORKLOADS
+        )
+        assert set(result) == {
+            "stride_stride", "ipcp", "stride_pythia", "stride_bandit"
+        }
+
+    def test_fig14_structure(self):
+        result = figures.fig14_fourcore(trace_length=1500, max_mixes=1)
+        assert set(result) == {"stride", "bingo", "mlop", "pythia", "bandit"}
+
+
+class TestSMTFigures:
+    def test_fig05_structure(self):
+        from repro.smt.pg_policy import BANDIT_PG_ARMS
+
+        result = figures.fig05_pg_policy_range(
+            num_mixes=1, scale=TINY_SMT, policies=BANDIT_PG_ARMS
+        )
+        assert len(result) == 1
+        record = result[0]
+        assert record["worst_vs_choi"] <= record["best_vs_choi"]
+
+    def test_table09_structure(self):
+        result = figures.table09_smt_tuneset(num_mixes=2, scale=TINY_SMT)
+        assert "Choi" in result and "DUCB" in result
+
+    def test_fig13_structure(self):
+        result = figures.fig13_smt_bandit_vs_choi(num_mixes=2, scale=TINY_SMT)
+        assert len(result["ratios_sorted"]) == 2
+        assert result["gmean_vs_choi"] > 0
+
+    def test_fig15_structure(self):
+        result = figures.fig15_rename_activity(num_mixes=1, scale=TINY_SMT)
+        for metrics in result.values():
+            total = metrics["stalled_any"] + metrics["idle"] + metrics["running"]
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig07_structure(self):
+        result = figures.fig07_exploration_traces(
+            trace_length=TINY_TRACE,
+            prefetch_workloads=("bwaves06",),
+            smt_mixes=(("gcc", "lbm"),),
+            scale=TINY_SMT,
+        )
+        assert set(result) == {"prefetch:bwaves06", "smt:gcc-lbm"}
+        for scenario in result.values():
+            assert set(scenario) == {"BestStatic", "Single", "UCB", "DUCB"}
+
+
+class TestSec65:
+    def test_structure(self):
+        result = figures.sec65_area_power()
+        assert result["storage_bytes"] == 88
+        assert result["area_fraction_of_icelake"] < 1.0

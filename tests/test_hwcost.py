@@ -1,0 +1,64 @@
+"""Tests for the §6.5 area/power/storage model."""
+
+import pytest
+
+from repro.hwcost.area_power import (
+    ICELAKE_40C,
+    ServerCPU,
+    estimate_bandit_cost,
+    relative_overheads,
+    storage_comparison,
+)
+
+
+class TestBanditCost:
+    def test_headline_numbers(self):
+        """§6.5: ~0.00044 mm² and ~0.11 mW per agent at 10 nm."""
+        estimate = estimate_bandit_cost(num_arms=11)
+        assert estimate.storage_bytes == 88
+        assert estimate.area_mm2 == pytest.approx(0.00044, rel=0.1)
+        assert estimate.power_mw == pytest.approx(0.11, rel=0.1)
+
+    def test_storage_under_100_bytes(self):
+        assert estimate_bandit_cost(11).storage_bytes < 100
+
+    def test_cost_monotonic_in_arms(self):
+        small = estimate_bandit_cost(6)
+        large = estimate_bandit_cost(32)
+        assert small.area_mm2 < large.area_mm2
+        assert small.power_mw < large.power_mw
+        assert small.storage_bytes < large.storage_bytes
+
+    def test_rejects_zero_arms(self):
+        with pytest.raises(ValueError):
+            estimate_bandit_cost(0)
+
+
+class TestRelativeOverheads:
+    def test_under_0003_percent_of_icelake(self):
+        """§6.5: one agent per core is < 0.003 % of a 40-core Ice Lake."""
+        overheads = relative_overheads(estimate_bandit_cost(11), ICELAKE_40C)
+        assert overheads["area_fraction"] < 0.00003
+        assert overheads["power_fraction"] < 0.00003
+
+    def test_scales_with_core_count(self):
+        estimate = estimate_bandit_cost(11)
+        small_cpu = ServerCPU("tiny", cores=4, die_area_mm2=100.0, tdp_w=65.0)
+        small = relative_overheads(estimate, small_cpu)
+        big = relative_overheads(estimate, ICELAKE_40C)
+        assert small["area_fraction"] != big["area_fraction"]
+
+
+class TestStorageComparison:
+    def test_paper_comparators(self):
+        """§7.2.1: Pythia 25.5 KB, MLOP 8 KB, Bingo 46 KB vs Bandit < 100 B."""
+        comparison = storage_comparison(11)
+        assert comparison["bandit"] == 88
+        assert comparison["pythia"] == pytest.approx(25.5 * 1024)
+        assert comparison["mlop"] == 8 * 1024
+        assert comparison["bingo"] == 46 * 1024
+        assert comparison["bandit_with_ensemble"] <= 2 * 1024
+
+    def test_bandit_orders_of_magnitude_smaller(self):
+        comparison = storage_comparison(11)
+        assert comparison["pythia"] / comparison["bandit"] > 250

@@ -1,0 +1,92 @@
+"""End-to-end integration tests: the full Bandit control loop.
+
+These exercise the exact plumbing the paper's Figure 6 describes — counters
+in, arm out — against both simulators, and check learning *outcomes* rather
+than mechanism internals.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bandit.base import BanditConfig
+from repro.bandit.ducb import DUCB
+from repro.experiments.configs import PREFETCH_BANDIT_CONFIG
+from repro.experiments.prefetch import (
+    best_static_arm,
+    run_bandit_prefetch,
+    run_fixed_arm,
+)
+from repro.workloads.suites import spec_by_name
+
+
+PARAMS = replace(PREFETCH_BANDIT_CONFIG, step_l2_accesses=50, gamma=0.98)
+
+
+class TestPrefetchLoopOutcomes:
+    def test_bandit_converges_near_oracle_on_stream(self):
+        trace = spec_by_name("libquantum06").trace(10_000, seed=2)
+        _, per_arm = best_static_arm(trace)
+        oracle = max(per_arm.values())
+        result = run_bandit_prefetch(trace, params=PARAMS, seed=1)
+        assert result.ipc >= 0.85 * oracle
+
+    def test_bandit_beats_worst_arm_everywhere(self):
+        for name in ("bwaves06", "milc06", "gcc06"):
+            trace = spec_by_name(name).trace(8_000, seed=2)
+            _, per_arm = best_static_arm(trace)
+            worst = min(per_arm.values())
+            result = run_bandit_prefetch(trace, params=PARAMS, seed=1)
+            assert result.ipc > worst, name
+
+    def test_dominant_arm_is_a_good_arm(self):
+        """After exploration, the most-played arm is near-optimal."""
+        trace = spec_by_name("cactus06").trace(10_000, seed=2)
+        _, per_arm = best_static_arm(trace)
+        oracle = max(per_arm.values())
+        result = run_bandit_prefetch(trace, params=PARAMS, seed=1)
+        tail = result.arm_history[len(result.arm_history) // 2:]
+        dominant = max(set(tail), key=tail.count)
+        assert per_arm[dominant] >= 0.8 * oracle
+
+    def test_deterministic_given_seed(self):
+        trace = spec_by_name("bwaves06").trace(5_000, seed=3)
+        first = run_bandit_prefetch(trace, params=PARAMS, seed=4)
+        second = run_bandit_prefetch(trace, params=PARAMS, seed=4)
+        assert first.ipc == second.ipc
+        assert first.arm_history == second.arm_history
+
+    def test_different_seeds_explore_differently(self):
+        trace = spec_by_name("gcc06").trace(5_000, seed=3)
+        first = run_bandit_prefetch(trace, params=PARAMS, seed=1)
+        second = run_bandit_prefetch(trace, params=PARAMS, seed=2)
+        # ε-free DUCB differs only via rr-restart/seeded ties, so histories
+        # can coincide; the run must at least be reproducible and sane.
+        assert first.ipc > 0 and second.ipc > 0
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_ipc_within_static_envelope(self, seed):
+        """Bandit IPC always lies within [worst arm·0.9, best arm·1.1]."""
+        trace = spec_by_name("soplex06").trace(5_000, seed=1)
+        _, per_arm = best_static_arm(trace)
+        result = run_bandit_prefetch(trace, params=PARAMS, seed=seed)
+        assert min(per_arm.values()) * 0.9 <= result.ipc
+        assert result.ipc <= max(per_arm.values()) * 1.1
+
+
+class TestStepAccounting:
+    def test_steps_match_l2_traffic(self):
+        trace = spec_by_name("bwaves06").trace(8_000, seed=2)
+        result = run_bandit_prefetch(trace, params=PARAMS, seed=1)
+        l2_accesses = result.stats.l2_demand_accesses
+        expected_steps = l2_accesses // PARAMS.step_l2_accesses
+        assert abs(len(result.arm_history) - expected_steps) <= 2
+
+    def test_counters_monotone_through_run(self):
+        trace = spec_by_name("bwaves06").trace(4_000, seed=2)
+        result = run_bandit_prefetch(trace, params=PARAMS, seed=1)
+        assert result.instructions > 0
+        assert result.cycles > 0
+        assert result.ipc == pytest.approx(result.instructions / result.cycles)

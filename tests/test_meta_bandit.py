@@ -1,0 +1,63 @@
+"""Tests for the §9 two-level (meta) bandit extension."""
+
+import pytest
+
+from repro.bandit.base import BanditConfig
+from repro.bandit.ducb import DUCB
+from repro.bandit.meta import MetaBandit
+
+
+def make_children(gammas=(0.9, 0.99), num_arms=3, seed=0):
+    return [
+        DUCB(BanditConfig(num_arms=num_arms, gamma=gamma, seed=seed + i,
+                          normalize_rewards=False))
+        for i, gamma in enumerate(gammas)
+    ]
+
+
+class TestMetaBandit:
+    def test_requires_children(self):
+        with pytest.raises(ValueError):
+            MetaBandit([])
+
+    def test_children_must_share_action_space(self):
+        children = [
+            DUCB(BanditConfig(num_arms=2)),
+            DUCB(BanditConfig(num_arms=3)),
+        ]
+        with pytest.raises(ValueError):
+            MetaBandit(children)
+
+    def test_meta_config_arm_count_checked(self):
+        with pytest.raises(ValueError):
+            MetaBandit(make_children(), meta_config=BanditConfig(num_arms=5))
+
+    def test_selects_valid_arms(self):
+        meta = MetaBandit(make_children())
+        for _ in range(20):
+            arm = meta.select_arm()
+            assert 0 <= arm < meta.num_arms
+            meta.observe(1.0)
+
+    def test_protocol_enforced(self):
+        meta = MetaBandit(make_children())
+        with pytest.raises(RuntimeError):
+            meta.observe(1.0)
+
+    def test_converges_to_good_arm(self):
+        meta = MetaBandit(make_children(seed=4))
+        rewards = [0.2, 0.9, 0.4]
+        for _ in range(300):
+            arm = meta.select_arm()
+            meta.observe(rewards[arm])
+        tail = meta.selection_history[-50:]
+        assert tail.count(1) > 30
+        assert meta.best_arm() == 1
+
+    def test_round_robin_phase_reflects_children(self):
+        meta = MetaBandit(make_children())
+        assert meta.in_round_robin_phase
+        for _ in range(30):
+            meta.select_arm()
+            meta.observe(0.5)
+        assert not meta.in_round_robin_phase

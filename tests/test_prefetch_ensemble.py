@@ -1,0 +1,90 @@
+"""Tests for the Bandit-controlled prefetcher ensemble (Table 7)."""
+
+import pytest
+
+from repro.prefetch.ensemble import ArmSpec, EnsemblePrefetcher, TABLE7_ARMS
+
+
+class TestTable7Arms:
+    def test_eleven_arms(self):
+        assert len(TABLE7_ARMS) == 11
+
+    def test_arm_encodings_match_table7(self):
+        """Spot-check the published arm table."""
+        assert TABLE7_ARMS[0] == ArmSpec(False, 0, 4)
+        assert TABLE7_ARMS[1] == ArmSpec(False, 0, 0)   # everything off
+        assert TABLE7_ARMS[2] == ArmSpec(True, 0, 0)    # NL only
+        assert TABLE7_ARMS[7] == ArmSpec(False, 8, 6)
+        assert TABLE7_ARMS[10] == ArmSpec(False, 15, 15)
+
+    def test_arm_labels(self):
+        assert "NL=on" in TABLE7_ARMS[2].label()
+        assert "stride=15" in TABLE7_ARMS[10].label()
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            ArmSpec(False, -1, 0)
+
+
+class TestEnsemble:
+    def test_set_arm_programs_components(self):
+        ensemble = EnsemblePrefetcher()
+        ensemble.set_arm(7)
+        assert ensemble.arm_id == 7
+        assert not ensemble.next_line.enabled
+        assert ensemble.stride.degree == 8
+        assert ensemble.stream.degree == 6
+
+    def test_arm_out_of_range(self):
+        ensemble = EnsemblePrefetcher()
+        with pytest.raises(ValueError):
+            ensemble.set_arm(11)
+
+    def test_all_off_arm_emits_nothing(self):
+        ensemble = EnsemblePrefetcher()
+        ensemble.set_arm(1)
+        for i in range(20):
+            assert ensemble.observe(0x1, 100 + i, 0.0, False) == []
+
+    def test_components_train_while_off(self):
+        """Switching to a stride arm must be effective immediately (§5.2)."""
+        ensemble = EnsemblePrefetcher()
+        ensemble.set_arm(1)  # all off
+        for i in range(5):
+            ensemble.observe(0x1, 100 + 3 * i, 0.0, False)
+        ensemble.set_arm(10)  # stride degree 15
+        out = ensemble.observe(0x1, 100 + 15, 0.0, False)
+        assert out and out[0] == 100 + 18
+
+    def test_candidates_deduplicated(self):
+        ensemble = EnsemblePrefetcher()
+        ensemble.set_arm(8)  # NL on + stream 8
+        out = []
+        for i in range(5):
+            out = ensemble.observe(0x1, 1000 + i, 0.0, False)
+        assert len(out) == len(set(out))
+        # Next-line target (block+1) appears exactly once.
+        assert out.count(1000 + 5) == 1
+
+    def test_storage_under_2kb(self):
+        """§7.2.1: ensemble incl. component prefetchers is < 2 KB."""
+        assert EnsemblePrefetcher().storage_bytes < 2 * 1024
+
+    def test_custom_arm_set(self):
+        arms = (ArmSpec(False, 0, 0), ArmSpec(True, 2, 2))
+        ensemble = EnsemblePrefetcher(arms=arms)
+        assert ensemble.num_arms == 2
+        ensemble.set_arm(1)
+        assert ensemble.next_line.enabled
+
+    def test_empty_arm_set_rejected(self):
+        with pytest.raises(ValueError):
+            EnsemblePrefetcher(arms=())
+
+    def test_reset_clears_learning(self):
+        ensemble = EnsemblePrefetcher()
+        ensemble.set_arm(10)
+        for i in range(5):
+            ensemble.observe(0x1, 100 + 3 * i, 0.0, False)
+        ensemble.reset()
+        assert ensemble.observe(0x1, 200, 0.0, False) == []

@@ -1,0 +1,124 @@
+"""Tests for the lightweight prefetchers: next-line, stream, stride."""
+
+import pytest
+
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+
+class TestNextLine:
+    def test_prefetches_next_block(self):
+        prefetcher = NextLinePrefetcher(enabled=True)
+        assert prefetcher.observe(0x10, 100, 0.0, False) == [101]
+
+    def test_disabled_returns_nothing(self):
+        prefetcher = NextLinePrefetcher(enabled=False)
+        assert prefetcher.observe(0x10, 100, 0.0, False) == []
+
+    def test_storage_is_one_bit(self):
+        assert NextLinePrefetcher().storage_bytes == 1
+
+
+class TestStream:
+    def test_trains_then_prefetches_ahead(self):
+        prefetcher = StreamPrefetcher(degree=3)
+        base = 64 * 10
+        outputs = [prefetcher.observe(0, base + i, 0.0, False) for i in range(4)]
+        assert outputs[0] == [] and outputs[1] == []
+        assert outputs[2] == [base + 3, base + 4, base + 5]
+
+    def test_detects_descending_direction(self):
+        prefetcher = StreamPrefetcher(degree=2)
+        base = 64 * 10 + 32
+        out = []
+        for i in range(4):
+            out = prefetcher.observe(0, base - i, 0.0, False)
+        assert out == [base - 4, base - 5]
+
+    def test_degree_zero_suppresses_but_trains(self):
+        prefetcher = StreamPrefetcher(degree=0)
+        base = 64 * 5
+        for i in range(4):
+            assert prefetcher.observe(0, base + i, 0.0, False) == []
+        prefetcher.set_degree(2)
+        assert prefetcher.observe(0, base + 4, 0.0, False) == [base + 5, base + 6]
+
+    def test_tracker_capacity_lru(self):
+        prefetcher = StreamPrefetcher(degree=1, num_trackers=2)
+        prefetcher.observe(0, 64 * 0, 0.0, False)
+        prefetcher.observe(0, 64 * 1, 0.0, False)
+        prefetcher.observe(0, 64 * 2, 0.0, False)  # evicts region 0
+        assert len(prefetcher._trackers) == 2
+
+    def test_reset(self):
+        prefetcher = StreamPrefetcher(degree=2)
+        prefetcher.observe(0, 100, 0.0, False)
+        prefetcher.reset()
+        assert not prefetcher._trackers
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=-1)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=1).set_degree(-2)
+
+
+class TestStride:
+    def test_learns_per_pc_stride(self):
+        prefetcher = StridePrefetcher(degree=2)
+        out = []
+        for i in range(4):
+            out = prefetcher.observe(0x10, 100 + 3 * i, 0.0, False)
+        assert out == [100 + 9 + 3, 100 + 9 + 6]
+
+    def test_concurrent_strides_different_pcs(self):
+        """The §3.1 property: per-PC state sustains several strides at once."""
+        prefetcher = StridePrefetcher(degree=1)
+        out_a = out_b = []
+        for i in range(4):
+            out_a = prefetcher.observe(0xA, 1000 + 5 * i, 0.0, False)
+            out_b = prefetcher.observe(0xB, 9000 + 2 * i, 0.0, False)
+        assert out_a == [1000 + 15 + 5]
+        assert out_b == [9000 + 6 + 2]
+
+    def test_stride_change_retrains(self):
+        prefetcher = StridePrefetcher(degree=1)
+        for i in range(4):
+            prefetcher.observe(0x10, 100 + 3 * i, 0.0, False)
+        # Stride changes to 7: confidence resets, no prefetch first time.
+        assert prefetcher.observe(0x10, 200, 0.0, False) == []
+
+    def test_zero_delta_ignored(self):
+        prefetcher = StridePrefetcher(degree=1)
+        prefetcher.observe(0x10, 100, 0.0, False)
+        assert prefetcher.observe(0x10, 100, 0.0, False) == []
+
+    def test_negative_stride(self):
+        prefetcher = StridePrefetcher(degree=1)
+        out = []
+        for i in range(4):
+            out = prefetcher.observe(0x10, 1000 - 4 * i, 0.0, False)
+        assert out == [1000 - 12 - 4]
+
+    def test_capacity_lru(self):
+        prefetcher = StridePrefetcher(degree=1, num_trackers=2)
+        for pc in (1, 2, 3):
+            prefetcher.observe(pc, 100, 0.0, False)
+        assert len(prefetcher._entries) == 2
+
+    def test_degree_zero_trains_silently(self):
+        prefetcher = StridePrefetcher(degree=0)
+        for i in range(4):
+            assert prefetcher.observe(0x10, 100 + 3 * i, 0.0, False) == []
+        prefetcher.set_degree(1)
+        assert prefetcher.observe(0x10, 112, 0.0, False) == [115]
+
+
+class TestIPStride:
+    def test_is_fixed_degree_stride(self):
+        prefetcher = IPStridePrefetcher()
+        assert isinstance(prefetcher, StridePrefetcher)
+        assert prefetcher.degree == 1  # classic single-block-ahead design
+        assert prefetcher.name == "ip_stride"

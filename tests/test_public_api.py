@@ -1,0 +1,50 @@
+"""Public-API surface tests: imports, exports, and example integrity."""
+
+import ast
+import importlib
+from pathlib import Path
+
+import pytest
+
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+class TestTopLevelExports:
+    def test_package_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.bandit", "repro.uncore", "repro.core_model", "repro.prefetch",
+        "repro.smt", "repro.workloads", "repro.experiments", "repro.hwcost",
+        "repro.util", "repro.cli",
+    ])
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+
+class TestExamples:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_parses_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+        assert '__main__' in path.read_text()
+
+    def test_at_least_four_examples(self):
+        assert len(EXAMPLES) >= 4
+        names = {path.name for path in EXAMPLES}
+        assert "quickstart.py" in names

@@ -1,0 +1,48 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_summary_table,
+    format_table,
+    normalized_percent,
+)
+from repro.util.stats import Summary
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "ipc"], [["bwaves", 1.5], ["mcf", 0.2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "bwaves" in lines[2]
+        assert "0.2" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 8")
+        assert text.splitlines()[0] == "Table 8"
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["x"], [["averyverylongvalue"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("averyverylongvalue")
+
+
+class TestSummaryTable:
+    def test_rows_and_columns(self):
+        text = format_summary_table(
+            {"DUCB": Summary(95.0, 101.6, 99.1), "UCB": Summary(88.6, 100.0, 98.8)}
+        )
+        assert "DUCB" in text
+        assert "gmean" in text
+        assert "99.1" in text
+
+
+class TestNormalizedPercent:
+    def test_basic(self):
+        out = normalized_percent({"a": 1.0, "b": 2.0}, baseline=2.0)
+        assert out == {"a": 50.0, "b": 100.0}
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_percent({"a": 1.0}, baseline=0.0)

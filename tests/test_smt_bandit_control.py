@@ -1,0 +1,95 @@
+"""Tests for Bandit control of the SMT fetch PG policy (§5.3)."""
+
+import pytest
+
+from repro.bandit.base import BanditConfig
+from repro.bandit.ducb import DUCB
+from repro.smt.bandit_control import (
+    BanditFetchController,
+    SMTBanditConfig,
+    run_static_policy,
+)
+from repro.smt.hill_climbing import HillClimbingConfig
+from repro.smt.pg_policy import BANDIT_PG_ARMS, CHOI_POLICY
+from repro.smt.pipeline import SMTPipeline
+from repro.workloads.smt import thread_profile
+
+
+GCC = thread_profile("gcc")
+LBM = thread_profile("lbm")
+
+FAST_HC = HillClimbingConfig(epoch_cycles=200)
+FAST_CONFIG = SMTBanditConfig(step_epochs=1, step_epochs_rr=2,
+                              hill_climbing=FAST_HC, seed=0)
+
+
+def make_controller(algorithm=None, config=FAST_CONFIG):
+    pipeline = SMTPipeline([GCC, LBM], BANDIT_PG_ARMS[0], seed=2)
+    return BanditFetchController(pipeline, config=config, algorithm=algorithm)
+
+
+class TestController:
+    def test_round_robin_covers_all_arms(self):
+        controller = make_controller()
+        controller.run_steps(len(BANDIT_PG_ARMS))
+        assert sorted(controller.arm_history) == list(range(6))
+
+    def test_rr_steps_are_longer(self):
+        config = SMTBanditConfig(step_epochs=1, step_epochs_rr=4,
+                                 hill_climbing=FAST_HC)
+        controller = make_controller(config=config)
+        pipeline = controller.pipeline
+        controller.run_one_step()
+        rr_cycles = pipeline.cycle
+        assert rr_cycles == 4 * FAST_HC.epoch_cycles
+
+    def test_main_loop_steps_shorter(self):
+        controller = make_controller()
+        controller.run_steps(len(BANDIT_PG_ARMS))  # finish RR
+        start = controller.pipeline.cycle
+        controller.run_one_step()
+        assert controller.pipeline.cycle - start == FAST_HC.epoch_cycles
+
+    def test_rewards_fed_to_algorithm(self):
+        algorithm = DUCB(BanditConfig(num_arms=6, seed=1))
+        controller = make_controller(algorithm=algorithm)
+        controller.run_steps(8)
+        assert all(count >= 0 for count in algorithm.selection_counts())
+        assert algorithm.n_total > 0
+
+    def test_arm_count_mismatch_rejected(self):
+        algorithm = DUCB(BanditConfig(num_arms=3))
+        with pytest.raises(ValueError):
+            make_controller(algorithm=algorithm)
+
+    def test_hc_state_saved_and_restored_per_arm(self):
+        controller = make_controller()
+        controller.run_steps(6)
+        # After the sweep, each visited arm left a saved HC state (the last
+        # arm's state is still live in the controller).
+        assert len(controller._saved_hc_state) >= 5
+
+    def test_policy_applied_to_pipeline(self):
+        controller = make_controller()
+        controller.run_one_step()
+        applied = controller.arm_history[0]
+        assert controller.pipeline.policy == BANDIT_PG_ARMS[applied]
+
+    def test_overall_ipc_positive(self):
+        controller = make_controller()
+        ipc = controller.run_steps(10)
+        assert ipc > 0.1
+
+
+class TestStaticRunner:
+    def test_static_policy_runs_hill_climbing(self):
+        pipeline = SMTPipeline([GCC, LBM], CHOI_POLICY, seed=2)
+        ipc = run_static_policy(pipeline, CHOI_POLICY, epochs=10,
+                                hc_config=FAST_HC)
+        assert ipc > 0.1
+        assert pipeline.cycle == 10 * FAST_HC.epoch_cycles
+
+    def test_zero_epochs(self):
+        pipeline = SMTPipeline([GCC, LBM], CHOI_POLICY, seed=2)
+        assert run_static_policy(pipeline, CHOI_POLICY, epochs=0,
+                                 hc_config=FAST_HC) == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the Choi Hill-Climbing resource partitioner."""
+
+import pytest
+
+from repro.smt.hill_climbing import HillClimbing, HillClimbingConfig
+
+
+class TestConfig:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            HillClimbingConfig(delta=0.0)
+
+    def test_rejects_impossible_min_allowance(self):
+        with pytest.raises(ValueError):
+            HillClimbingConfig(iq_size=10, min_allowance=8.0)
+
+
+class TestTrialSchedule:
+    def test_allowances_sum_to_iq_size(self):
+        hc = HillClimbing(HillClimbingConfig(iq_size=96, delta=2.0))
+        for _ in range(20):
+            a0, a1 = hc.allowances
+            assert a0 + a1 == pytest.approx(96)
+            hc.end_epoch(1.0)
+
+    def test_trials_probe_plus_minus_delta(self):
+        hc = HillClimbing(HillClimbingConfig(iq_size=96, delta=2.0))
+        seen = []
+        for _ in range(3):
+            seen.append(hc.allowances[0])
+            hc.end_epoch(1.0)
+        assert seen == [48.0, 50.0, 46.0]
+
+    def test_climbs_toward_better_partition(self):
+        """A concave response with max at 60 entries: HC walks there."""
+        hc = HillClimbing(HillClimbingConfig(iq_size=96, delta=2.0))
+        for _ in range(200):
+            a0, _ = hc.allowances
+            ipc = 1.0 - abs(a0 - 60.0) / 96.0
+            hc.end_epoch(ipc)
+        assert hc.allowances[0] == pytest.approx(60.0, abs=2.0)
+
+    def test_clamped_to_min_allowance(self):
+        hc = HillClimbing(HillClimbingConfig(iq_size=96, delta=4.0,
+                                             min_allowance=8.0))
+        for _ in range(300):
+            a0, _ = hc.allowances
+            hc.end_epoch(1.0 - a0 / 96.0)  # always prefer shrinking thread 0
+        assert hc.allowances[0] >= 8.0
+
+    def test_epochs_counted(self):
+        hc = HillClimbing()
+        for _ in range(7):
+            hc.end_epoch(0.5)
+        assert hc.epochs_run == 7
+
+
+class TestSaveRestore:
+    def test_state_roundtrip(self):
+        hc = HillClimbing(HillClimbingConfig(iq_size=96, delta=2.0))
+        for ipc in (0.5, 0.9, 0.4, 0.7):
+            hc.end_epoch(ipc)
+        snapshot = hc.state()
+        probe = hc.allowances
+        for _ in range(10):
+            hc.end_epoch(0.1)
+        hc.restore(snapshot)
+        assert hc.allowances == probe
+
+    def test_restore_clamps(self):
+        hc = HillClimbing(HillClimbingConfig(iq_size=96, min_allowance=8.0))
+        hc.restore((200.0, 0, (None, None, None)))
+        assert hc.allowances[0] <= 96 - 8.0

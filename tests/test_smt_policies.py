@@ -1,0 +1,125 @@
+"""Tests for PG policies, fetch priority selection, and fetch gating."""
+
+import pytest
+
+from repro.smt.fetch_policy import pick_thread
+from repro.smt.gating import gated_threads
+from repro.smt.pg_policy import (
+    ALL_PG_POLICIES,
+    BANDIT_PG_ARMS,
+    CHOI_POLICY,
+    ICOUNT_POLICY,
+    PGPolicy,
+)
+
+
+class TestPGPolicy:
+    def test_64_policies(self):
+        assert len(ALL_PG_POLICIES) == 64
+        assert len(set(policy.mnemonic for policy in ALL_PG_POLICIES)) == 64
+
+    def test_mnemonic_roundtrip(self):
+        for policy in ALL_PG_POLICIES:
+            assert PGPolicy.from_mnemonic(policy.mnemonic) == policy
+
+    def test_choi_is_ic_1011(self):
+        assert CHOI_POLICY.mnemonic == "IC_1011"
+        assert CHOI_POLICY.gate_iq and CHOI_POLICY.gate_rob and CHOI_POLICY.gate_irf
+        assert not CHOI_POLICY.gate_lsq  # the blind spot §3.3 exploits
+
+    def test_icount_gates_nothing(self):
+        assert ICOUNT_POLICY.mnemonic == "IC_0000"
+        assert not ICOUNT_POLICY.gates_anything
+
+    def test_bandit_arms_match_table1(self):
+        mnemonics = [policy.mnemonic for policy in BANDIT_PG_ARMS]
+        assert mnemonics == [
+            "IC_0000", "BrC_1000", "IC_1110", "IC_1111", "LSQC_1111",
+            "RR_1111",
+        ]
+
+    def test_malformed_mnemonics_rejected(self):
+        for bad in ("IC1011", "IC_10", "IC_1012", "XX_1011"):
+            with pytest.raises(ValueError):
+                PGPolicy.from_mnemonic(bad)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError):
+            PGPolicy("IQ", False, False, False, False)
+
+
+class TestPickThread:
+    ICOUNT = [10, 3]
+    BRANCHES = [1, 7]
+    LSQ = [20, 5]
+
+    def pick(self, priority, eligible=(0, 1), rr=0):
+        return pick_thread(priority, list(eligible), self.ICOUNT,
+                           self.BRANCHES, self.LSQ, rr)
+
+    def test_none_when_no_eligible(self):
+        assert self.pick("IC", eligible=()) is None
+
+    def test_single_eligible_shortcut(self):
+        assert self.pick("IC", eligible=(0,)) == 0
+
+    def test_icount_prefers_fewest(self):
+        assert self.pick("IC") == 1
+
+    def test_branch_count_prefers_fewest_branches(self):
+        assert self.pick("BrC") == 0
+
+    def test_lsq_count_prefers_fewest_lsq(self):
+        assert self.pick("LSQC") == 1
+
+    def test_round_robin_alternates(self):
+        assert self.pick("RR", rr=0) == 0
+        assert self.pick("RR", rr=1) == 1
+
+    def test_metric_ties_break_round_robin(self):
+        picks = {
+            pick_thread("IC", [0, 1], [5, 5], [0, 0], [0, 0], rr)
+            for rr in (0, 1)
+        }
+        assert picks == {0, 1}
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError):
+            self.pick("FIFO")
+
+
+class TestGating:
+    SIZES = dict(iq_size=100, lsq_size=128, rob_size=200, irf_size=100)
+
+    def gate(self, policy, allowances, iq, lsq, rob, irf):
+        return gated_threads(
+            policy, allowances, self.SIZES["iq_size"], iq, lsq, rob, irf,
+            self.SIZES["lsq_size"], self.SIZES["rob_size"],
+            self.SIZES["irf_size"],
+        )
+
+    def test_no_gating_policy_gates_nothing(self):
+        result = self.gate(ICOUNT_POLICY, [50, 50], [99, 99], [128, 128],
+                           [200, 200], [100, 100])
+        assert result == [False, False]
+
+    def test_iq_threshold(self):
+        policy = PGPolicy.from_mnemonic("IC_1000")
+        result = self.gate(policy, [50, 50], [60, 40], [0, 0], [0, 0], [0, 0])
+        assert result == [True, False]
+
+    def test_proportional_scaling_to_other_structures(self):
+        # Allowance 50/100 IQ entries → 50% of each structure.
+        policy = PGPolicy.from_mnemonic("IC_0100")  # LSQ only
+        result = self.gate(policy, [50, 50], [0, 0], [70, 60], [0, 0], [0, 0])
+        assert result == [True, False]  # 70 > 64, 60 ≤ 64... 60 < 64
+
+    def test_choi_ignores_lsq(self):
+        result = self.gate(CHOI_POLICY, [50, 50], [10, 10], [128, 128],
+                           [10, 10], [10, 10])
+        assert result == [False, False]
+
+    def test_asymmetric_allowances(self):
+        policy = PGPolicy.from_mnemonic("IC_1000")
+        result = self.gate(policy, [80, 20], [70, 30], [0, 0], [0, 0], [0, 0])
+        assert result == [False, True]

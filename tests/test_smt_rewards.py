@@ -1,0 +1,82 @@
+"""Tests for the alternative SMT reward metrics (§6.4)."""
+
+import pytest
+
+from repro.smt.rewards import harmonic_weighted_ipc, total_ipc, weighted_ipc
+
+
+class TestTotalIPC:
+    def test_sums_threads(self):
+        metric = total_ipc()
+        assert metric([300, 100], 200.0) == pytest.approx(2.0)
+
+    def test_zero_cycles(self):
+        assert total_ipc()([10, 10], 0.0) == 0.0
+
+
+class TestWeightedIPC:
+    def test_equal_speedups(self):
+        metric = weighted_ipc([2.0, 1.0])
+        # Thread 0 at IPC 1.0 (50 % of alone), thread 1 at 0.5 (50 %).
+        assert metric([1000, 500], 1000.0) == pytest.approx(0.5)
+
+    def test_weights_matter(self):
+        throughput = total_ipc()
+        weighted = weighted_ipc([4.0, 0.5])
+        # Same total IPC, but thread 1 (slow alone) is doing great while
+        # thread 0 is starved: weighted metric sees the difference.
+        fair = ([1000, 1000], 1000.0)
+        skewed = ([1900, 100], 1000.0)
+        assert throughput(*fair) == pytest.approx(throughput(*skewed))
+        assert weighted(*fair) != pytest.approx(weighted(*skewed))
+
+    def test_rejects_bad_baselines(self):
+        with pytest.raises(ValueError):
+            weighted_ipc([])
+        with pytest.raises(ValueError):
+            weighted_ipc([1.0, 0.0])
+
+
+class TestHarmonicWeightedIPC:
+    def test_penalizes_starvation(self):
+        metric = harmonic_weighted_ipc([1.0, 1.0])
+        balanced = metric([500, 500], 1000.0)
+        starved = metric([990, 10], 1000.0)
+        assert balanced > starved
+
+    def test_zero_thread_zeroes_metric(self):
+        metric = harmonic_weighted_ipc([1.0, 1.0])
+        assert metric([1000, 0], 1000.0) == 0.0
+
+    def test_at_most_weighted_mean(self):
+        arithmetic = weighted_ipc([1.0, 2.0])
+        harmonic = harmonic_weighted_ipc([1.0, 2.0])
+        committed = [700, 600]
+        assert harmonic(committed, 1000.0) <= arithmetic(committed, 1000.0) + 1e-9
+
+
+class TestControllerIntegration:
+    def test_bandit_controller_accepts_metric(self):
+        from repro.smt.bandit_control import (
+            BanditFetchController,
+            SMTBanditConfig,
+        )
+        from repro.smt.hill_climbing import HillClimbingConfig
+        from repro.smt.pg_policy import BANDIT_PG_ARMS
+        from repro.smt.pipeline import SMTPipeline
+        from repro.workloads.smt import thread_profile
+
+        pipeline = SMTPipeline(
+            [thread_profile("gcc"), thread_profile("lbm")],
+            BANDIT_PG_ARMS[0], seed=1,
+        )
+        config = SMTBanditConfig(
+            step_epochs=1, step_epochs_rr=1,
+            hill_climbing=HillClimbingConfig(epoch_cycles=200),
+        )
+        controller = BanditFetchController(
+            pipeline, config=config,
+            reward_metric=harmonic_weighted_ipc([1.5, 0.4]),
+        )
+        ipc = controller.run_steps(8)
+        assert ipc > 0.0

@@ -1,0 +1,73 @@
+"""Property tests on the SMT micro-op streams and pipeline determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.pg_policy import BANDIT_PG_ARMS, CHOI_POLICY
+from repro.smt.pipeline import SMTPipeline
+from repro.smt.uop import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_LONG,
+    KIND_STORE,
+    uop_stream,
+)
+from repro.workloads.smt import EVAL_APP_NAMES, thread_profile
+
+
+class TestUopStreamProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(name=st.sampled_from(EVAL_APP_NAMES),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_kinds_always_valid(self, name, seed):
+        stream = uop_stream(thread_profile(name), seed=seed)
+        for _ in range(500):
+            kind, dep1, dep2, mispredict = next(stream)
+            assert kind in (KIND_ALU, KIND_LOAD, KIND_STORE, KIND_BRANCH,
+                            KIND_LONG)
+            assert dep1 >= 0 and dep2 >= 0
+            if mispredict:
+                assert kind == KIND_BRANCH
+
+    @settings(max_examples=8, deadline=None)
+    @given(name=st.sampled_from(EVAL_APP_NAMES))
+    def test_branch_fraction_tracks_profile(self, name):
+        profile = thread_profile(name)
+        stream = uop_stream(profile, seed=1)
+        branches = sum(
+            1 for _ in range(8000) if next(stream)[0] == KIND_BRANCH
+        )
+        assert branches / 8000 == pytest.approx(profile.branch_fraction,
+                                                abs=0.03)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        first=st.sampled_from(("gcc", "lbm", "x264", "mcf")),
+        second=st.sampled_from(("gcc", "lbm", "bwaves", "deepsjeng")),
+        arm=st.integers(min_value=0, max_value=5),
+    )
+    def test_any_mix_any_policy_progresses(self, first, second, arm):
+        pipeline = SMTPipeline(
+            [thread_profile(first), thread_profile(second)],
+            BANDIT_PG_ARMS[arm], seed=3,
+        )
+        ipc = pipeline.run(1500)
+        assert 0.0 < ipc <= pipeline.config.commit_width
+        committed = pipeline.per_thread_committed()
+        assert committed[0] + committed[1] > 0
+
+    def test_longer_run_does_not_corrupt_state(self):
+        pipeline = SMTPipeline(
+            [thread_profile("gcc"), thread_profile("lbm")],
+            CHOI_POLICY, seed=5,
+        )
+        for _ in range(6):
+            pipeline.run(1000)
+        for thread in pipeline.threads:
+            assert thread.rob_occ == len(thread.rob)
+            assert thread.iq_occ >= 0
+            # The completion map stays pruned (no unbounded growth).
+            assert len(thread.completion) < 20_000

@@ -1,0 +1,162 @@
+"""Tests for the cache replacement policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uncore.replacement import (
+    BRRIP,
+    DRRIP,
+    LRUReplacement,
+    PolicyCache,
+    RandomReplacement,
+    SRRIP,
+)
+
+
+def make_cache(policy, sets=4, ways=2):
+    return PolicyCache("t", size_bytes=sets * ways * 64, ways=ways,
+                       policy=policy)
+
+
+class TestLRUPolicy:
+    def test_matches_base_cache_behaviour(self):
+        cache = make_cache(LRUReplacement())
+        cache.insert(0)
+        cache.insert(4)
+        cache.lookup(0)
+        victim = cache.insert(8)
+        assert victim.block == 4
+
+
+class TestRandomPolicy:
+    def test_victim_is_a_resident_block(self):
+        cache = make_cache(RandomReplacement(seed=1))
+        cache.insert(0)
+        cache.insert(4)
+        victim = cache.insert(8)
+        assert victim.block in (0, 4)
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            cache = make_cache(RandomReplacement(seed=seed))
+            victims = []
+            for block in range(0, 64, 4):
+                victim = cache.insert(block)
+                if victim:
+                    victims.append(victim.block)
+            return victims
+
+        assert run(3) == run(3)
+
+
+class TestSRRIP:
+    def test_insert_gets_long_rrpv(self):
+        policy = SRRIP(max_rrpv=3)
+        policy.on_insert(0, 10)
+        assert policy._rrpv[10] == 2
+
+    def test_hit_promotes_to_zero(self):
+        policy = SRRIP()
+        policy.on_insert(0, 10)
+        policy.on_hit(0, 10)
+        assert policy._rrpv[10] == 0
+
+    def test_victim_is_distant_line(self):
+        cache = make_cache(SRRIP())
+        cache.insert(0)
+        cache.lookup(0)       # promote block 0 (RRPV -> 0)
+        cache.insert(4)       # RRPV 2
+        victim = cache.insert(8)
+        assert victim.block == 4
+
+    def test_aging_finds_victim(self):
+        policy = SRRIP(max_rrpv=3)
+        candidates = {}
+        cache = make_cache(policy)
+        cache.insert(0)
+        cache.lookup(0)
+        cache.insert(4)
+        cache.lookup(4)
+        # Both promoted: aging loop must still terminate and pick one.
+        victim = cache.insert(8)
+        assert victim.block in (0, 4)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            SRRIP(max_rrpv=0)
+
+    def test_scan_resistance(self):
+        """SRRIP keeps a reused line through a one-shot scan; LRU loses it."""
+
+        def hits_after_scan(policy):
+            cache = make_cache(policy, sets=1, ways=4)
+            hot = 0
+            for _ in range(3):
+                if cache.lookup(hot) is None:
+                    cache.insert(hot)
+            for block in range(1, 8):   # scan through the set
+                if cache.lookup(block) is None:
+                    cache.insert(block)
+            return cache.lookup(hot) is not None
+
+        assert hits_after_scan(SRRIP())
+        assert not hits_after_scan(LRUReplacement())
+
+
+class TestDRRIP:
+    def test_leader_sets_disjoint(self):
+        policy = DRRIP(num_sets=64)
+        assert not (policy._srrip_leaders & policy._brrip_leaders)
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = DRRIP(num_sets=64)
+        start = policy.psel
+        leader = next(iter(policy._srrip_leaders))
+        policy.record_miss(leader)
+        assert policy.psel == start - 1
+        brrip_leader = next(iter(policy._brrip_leaders))
+        policy.record_miss(brrip_leader)
+        policy.record_miss(brrip_leader)
+        assert policy.psel == start + 1
+
+    def test_rejects_too_few_sets(self):
+        with pytest.raises(ValueError):
+            DRRIP(num_sets=4, leaders_per_policy=4)
+
+    def test_end_to_end_in_cache(self):
+        cache = PolicyCache("t", size_bytes=64 * 64, ways=4,
+                            policy=DRRIP(num_sets=16))
+        for block in range(200):
+            if cache.lookup(block) is None:
+                cache.insert(block)
+        assert cache.occupancy() <= 64
+
+
+class TestPolicyCacheInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(["lru", "random", "srrip", "brrip"]),
+           st.lists(st.integers(min_value=0, max_value=120), min_size=1,
+                    max_size=250))
+    def test_associativity_never_exceeded(self, policy_name, blocks):
+        policy = {
+            "lru": LRUReplacement(),
+            "random": RandomReplacement(seed=1),
+            "srrip": SRRIP(),
+            "brrip": BRRIP(seed=1),
+        }[policy_name]
+        cache = make_cache(policy, sets=4, ways=2)
+        for block in blocks:
+            if cache.lookup(block) is None:
+                cache.insert(block)
+        for cache_set in cache._sets:
+            assert len(cache_set) <= cache.ways
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                    max_size=120))
+    def test_inserted_block_resident(self, blocks):
+        cache = make_cache(SRRIP(), sets=2, ways=4)
+        for block in blocks:
+            if cache.lookup(block) is None:
+                cache.insert(block)
+            assert cache.contains(block)

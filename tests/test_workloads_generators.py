@@ -1,0 +1,199 @@
+"""Tests for the synthetic trace generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generators import (
+    GENERATORS,
+    GeneratorParams,
+    generate_trace,
+    graph_trace,
+    mixed_trace,
+    phased_trace,
+    pointer_chase_trace,
+    region_trace,
+    stream_trace,
+    strided_trace,
+)
+from repro.workloads.trace import BLOCK_SHIFT
+
+
+PARAMS = GeneratorParams(length=2000, seed=11, gap_mean=2.0)
+
+
+class TestGeneratorParams:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(length=0)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(length=1, gap_mean=-1.0)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(length=1, write_fraction=1.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_same_seed_same_trace(self, kind):
+        first = generate_trace(kind, PARAMS)
+        second = generate_trace(kind, PARAMS)
+        assert first == second
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_different_seed_different_trace(self, kind):
+        other = GeneratorParams(length=2000, seed=12, gap_mean=2.0)
+        assert generate_trace(kind, PARAMS) != generate_trace(kind, other)
+
+    @pytest.mark.parametrize("kind", sorted(GENERATORS))
+    def test_exact_length(self, kind):
+        assert len(generate_trace(kind, PARAMS)) == PARAMS.length
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace("nope", PARAMS)
+
+
+class TestStream:
+    def test_single_stream_is_monotonic(self):
+        trace = stream_trace(
+            GeneratorParams(length=500, seed=1, write_fraction=0.0),
+            num_streams=1,
+        )
+        addresses = [record.address for record in trace]
+        assert addresses == sorted(addresses)
+
+    def test_element_granularity_hits_same_block(self):
+        trace = stream_trace(
+            GeneratorParams(length=64, seed=1, write_fraction=0.0),
+            num_streams=1, element_bytes=8,
+        )
+        blocks = [record.block for record in trace]
+        # 8-byte elements over 64-byte blocks: runs of 8 equal blocks.
+        assert blocks[0] == blocks[7]
+        assert blocks[8] == blocks[0] + 1
+
+    def test_streams_use_disjoint_regions(self):
+        trace = stream_trace(PARAMS, num_streams=3)
+        by_pc = {}
+        for record in trace:
+            by_pc.setdefault(record.pc, set()).add(record.address >> 28)
+        regions = [frozenset(v) for v in by_pc.values()]
+        assert len(set(regions)) == len(regions)
+
+
+class TestStrided:
+    def test_per_pc_constant_stride(self):
+        trace = strided_trace(
+            GeneratorParams(length=1000, seed=3, write_fraction=0.0),
+            strides_blocks=(3, 7),
+        )
+        last = {}
+        deltas = {}
+        for record in trace:
+            block = record.block
+            if record.pc in last:
+                deltas.setdefault(record.pc, set()).add(block - last[record.pc])
+            last[record.pc] = block
+        # Ignoring wraparound, each PC moves by exactly its stride.
+        for pc, pc_deltas in deltas.items():
+            common = [d for d in pc_deltas if 0 < d <= 16]
+            assert len(common) == 1
+
+
+class TestPointerChase:
+    def test_dependent_fraction_present(self):
+        trace = pointer_chase_trace(
+            GeneratorParams(length=2000, seed=5), dependent_fraction=0.8
+        )
+        dependent = sum(1 for record in trace if record.dependent)
+        assert dependent > 500
+
+    def test_no_dependence_when_fraction_zero(self):
+        trace = pointer_chase_trace(
+            GeneratorParams(length=500, seed=5), dependent_fraction=0.0
+        )
+        assert not any(record.dependent for record in trace)
+
+    def test_large_footprint(self):
+        trace = pointer_chase_trace(GeneratorParams(length=5000, seed=5))
+        blocks = {record.block for record in trace}
+        assert len(blocks) > 1000
+
+
+class TestRegion:
+    def test_footprints_recur(self):
+        trace = region_trace(
+            GeneratorParams(length=4000, seed=7, write_fraction=0.0),
+            num_regions=4, region_blocks=32, accesses_per_block=1,
+        )
+        per_region = {}
+        for record in trace:
+            block = record.block
+            region, offset = divmod(block, 32)
+            per_region.setdefault(region, []).append(offset)
+        # Each region's footprint (set of offsets) repeats across visits.
+        for region, offsets in per_region.items():
+            unique = set(offsets)
+            assert len(offsets) > len(unique)  # revisited
+
+    def test_accesses_per_block_groups(self):
+        trace = region_trace(
+            GeneratorParams(length=100, seed=7, write_fraction=0.0),
+            num_regions=2, region_blocks=16, accesses_per_block=3,
+        )
+        blocks = [record.block for record in trace]
+        assert blocks[0] == blocks[1] == blocks[2]
+
+    def test_rejects_bad_accesses_per_block(self):
+        with pytest.raises(ValueError):
+            region_trace(PARAMS, accesses_per_block=0)
+
+
+class TestGraph:
+    def test_irregular_loads_are_dependent(self):
+        trace = graph_trace(GeneratorParams(length=1000, seed=9))
+        dependent = [record for record in trace if record.dependent]
+        assert dependent
+        # Offset-array scans (pc 0x800000) are never dependent.
+        assert all(record.pc != 0x800000 for record in dependent)
+
+
+class TestMixed:
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            mixed_trace(PARAMS, stream_weight=0, stride_weight=0,
+                        random_weight=0)
+
+    def test_pc_footprint_respected(self):
+        trace = mixed_trace(PARAMS, pc_footprint=16)
+        assert len({record.pc for record in trace}) <= 16
+
+
+class TestPhased:
+    def test_phases_concatenated(self):
+        trace = phased_trace(
+            GeneratorParams(length=1000, seed=2),
+            phases=("stream", "pointer_chase"),
+        )
+        assert len(trace) == 1000
+        # The second half contains dependent records, the first does not.
+        first_half = trace[:400]
+        second_half = trace[600:]
+        assert not any(record.dependent for record in first_half)
+        assert any(record.dependent for record in second_half)
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            phased_trace(PARAMS, phases=())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_any_phase_count_lengths(self, count):
+        trace = phased_trace(
+            GeneratorParams(length=997, seed=3),
+            phases=tuple(["stream"] * count),
+        )
+        assert len(trace) == 997

@@ -1,0 +1,100 @@
+"""Tests for trace records, statistics, and (de)serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.trace import (
+    BLOCK_BYTES,
+    TraceRecord,
+    concatenate,
+    read_trace,
+    trace_stats,
+    write_trace,
+)
+
+
+record_strategy = st.builds(
+    TraceRecord,
+    pc=st.integers(min_value=0, max_value=2**48),
+    address=st.integers(min_value=0, max_value=2**48),
+    is_write=st.booleans(),
+    inst_gap=st.integers(min_value=0, max_value=255),
+    dependent=st.booleans(),
+)
+
+
+class TestTraceRecord:
+    def test_block_number(self):
+        record = TraceRecord(pc=0, address=BLOCK_BYTES * 3 + 5, is_write=False,
+                             inst_gap=0)
+        assert record.block == 3
+
+    def test_dependent_defaults_false(self):
+        record = TraceRecord(0, 0, False, 0)
+        assert record.dependent is False
+
+
+class TestTraceStats:
+    def test_counts(self):
+        trace = [
+            TraceRecord(0x10, 0, False, 3),
+            TraceRecord(0x20, 64, True, 1),
+            TraceRecord(0x10, 0, False, 0),
+        ]
+        stats = trace_stats(trace)
+        assert stats.accesses == 3
+        assert stats.instructions == 3 + (3 + 1 + 0)
+        assert stats.unique_blocks == 2
+        assert stats.unique_pcs == 2
+        assert stats.write_fraction == pytest.approx(1 / 3)
+
+    def test_empty_trace(self):
+        stats = trace_stats([])
+        assert stats.accesses == 0
+        assert stats.write_fraction == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = [
+            TraceRecord(0x400000, 0x1234540, False, 5),
+            TraceRecord(0x400040, 0x99999980, True, 0, True),
+        ]
+        path = tmp_path / "trace.bin.gz"
+        count = write_trace(trace, path)
+        assert count == 2
+        assert read_trace(path) == trace
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin.gz"
+        write_trace([], path)
+        assert read_trace(path) == []
+
+    def test_truncated_file_rejected(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bad.bin.gz"
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"\x00" * 7)
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    @given(st.lists(record_strategy, max_size=50))
+    def test_roundtrip_property(self, trace):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.bin.gz"
+            write_trace(trace, path)
+            assert read_trace(path) == trace
+
+
+class TestConcatenate:
+    def test_concatenation_order(self):
+        a = [TraceRecord(1, 0, False, 0)]
+        b = [TraceRecord(2, 64, False, 0)]
+        assert concatenate([a, b]) == a + b
+
+    def test_empty(self):
+        assert concatenate([]) == []
