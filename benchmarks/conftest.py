@@ -9,11 +9,19 @@ EXPERIMENTS.md) and prints the regenerated rows/series. Set
 
 Each experiment runs exactly once per benchmark (``rounds=1``): the measured
 quantity is the full experiment, not a microbenchmark.
+
+Figure benchmarks share one result cache for the session, so replays that
+recur across figures (e.g. the no-prefetch baselines) execute once.
+``REPRO_BENCH_CACHE_DIR`` pins the cache to a persistent directory (reuse
+across pytest invocations); ``REPRO_BENCH_JOBS`` fans replays out over a
+process pool. Both default to the deterministic serial behaviour.
 """
 
 import os
 
 import pytest
+
+from repro.experiments.runner import ExecutionContext, ResultCache, use_context
 
 
 def bench_scale() -> float:
@@ -22,6 +30,18 @@ def bench_scale() -> float:
 
 def scaled(value: int, minimum: int = 1) -> int:
     return max(minimum, int(value * bench_scale()))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def experiment_context(tmp_path_factory):
+    """Install a session-wide execution context (shared cache across tests)."""
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if not cache_dir:
+        cache_dir = tmp_path_factory.mktemp("repro-cache")
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    context = ExecutionContext(jobs=jobs, cache=ResultCache(cache_dir))
+    with use_context(context):
+        yield context
 
 
 @pytest.fixture

@@ -102,6 +102,7 @@ class MABAlgorithm:
         self._rr_queue: List[int] = list(range(config.num_arms))
         self._in_initial_phase = True
         self._current_arm: Optional[int] = None
+        self._current_from_sweep = False
         self._awaiting_reward = False
         self.selection_history: List[int] = []
 
@@ -121,19 +122,23 @@ class MABAlgorithm:
         return self._in_initial_phase
 
     def select_arm(self) -> int:
-        """Select the arm for the next bandit step."""
+        """Select the arm for the next bandit step.
+
+        Selection-count updates (``updSels``) are deferred to
+        :meth:`observe` so that a step which never actually runs — e.g. the
+        trailing partial step at trace end — can be retracted with
+        :meth:`cancel_selection` without corrupting the statistics.
+        """
         if self._awaiting_reward:
             raise RuntimeError("select_arm() called before observe()")
         if not self._rr_queue and not self._in_initial_phase:
             self._maybe_restart_round_robin()
         if self._rr_queue:
             arm = self._rr_queue.pop(0)
-            if not self._in_initial_phase:
-                # §4.3 restart sweeps keep statistics: account the selection.
-                self._upd_sels(arm)
+            self._current_from_sweep = True
         else:
             arm = self._next_arm()
-            self._upd_sels(arm)
+            self._current_from_sweep = False
         self._current_arm = arm
         self._awaiting_reward = True
         self.selection_history.append(arm)
@@ -154,7 +159,31 @@ class MABAlgorithm:
             if not self._rr_queue:
                 self._finish_initial_phase()
             return
+        # §4.3 restart sweeps keep statistics: selections count there too.
+        self._upd_sels(arm)
         self._upd_rew(arm, self._normalize(r_step))
+
+    @property
+    def awaiting_reward(self) -> bool:
+        """True between :meth:`select_arm` and the matching :meth:`observe`."""
+        return self._awaiting_reward
+
+    def cancel_selection(self) -> None:
+        """Retract a selection whose step never ran (zero-cycle flush).
+
+        Restores the algorithm to the state before the last
+        :meth:`select_arm`: the arm is removed from ``selection_history``
+        and, for round-robin selections, pushed back onto the sweep queue.
+        No reward or selection-count state was touched yet, so the agent
+        accepts a fresh :meth:`select_arm` afterwards.
+        """
+        if not self._awaiting_reward or self._current_arm is None:
+            raise RuntimeError("cancel_selection() called with no step open")
+        self._awaiting_reward = False
+        arm = self.selection_history.pop()
+        if self._current_from_sweep:
+            self._rr_queue.insert(0, arm)
+        self._current_arm = None
 
     def best_arm(self) -> int:
         """Arm with the highest current reward estimate (ties: lowest index)."""

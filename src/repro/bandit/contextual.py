@@ -17,7 +17,7 @@ of classes).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Hashable, List, Optional
 
 from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB

@@ -14,7 +14,6 @@ environments (§4.2c, Figure 7's mcf example).
 
 from __future__ import annotations
 
-from repro.bandit.base import BanditConfig
 from repro.bandit.ucb import UCB
 
 

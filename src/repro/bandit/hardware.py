@@ -139,3 +139,24 @@ class MicroArmedBandit:
         self.algorithm.observe(reward)
         self.steps_completed += 1
         return reward
+
+    def flush_step(self, counters: PerformanceCounters) -> float | None:
+        """Close the trailing partial step at episode end.
+
+        Simulation loops call :meth:`begin_step` at every boundary, so the
+        final selection is still awaiting its reward when the trace runs
+        out. Flushing trains the algorithm on the partial step; a step that
+        covered zero cycles has no defined IPC, so the pending selection is
+        retracted instead (when the algorithm supports it). Returns the
+        observed reward, or ``None`` if there was nothing to flush.
+        """
+        if self._current_arm is None:
+            return None
+        if not getattr(self.algorithm, "awaiting_reward", True):
+            return None
+        if self._reward.elapsed_cycles(counters) > 0:
+            return self.end_step(counters)
+        cancel = getattr(self.algorithm, "cancel_selection", None)
+        if cancel is not None:
+            cancel()
+        return None

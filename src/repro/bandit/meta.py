@@ -80,6 +80,19 @@ class MetaBandit:
         self.children[self._active_child].observe(r_step)
         self._active_child = None
 
+    @property
+    def awaiting_reward(self) -> bool:
+        return self._active_child is not None
+
+    def cancel_selection(self) -> None:
+        """Retract the last selection on both levels (zero-cycle flush)."""
+        if self._active_child is None:
+            raise RuntimeError("cancel_selection() called with no step open")
+        self.children[self._active_child].cancel_selection()
+        self.meta.cancel_selection()
+        self.selection_history.pop()
+        self._active_child = None
+
     def best_arm(self) -> int:
         best_child = self.meta.best_arm()
         return self.children[best_child].best_arm()

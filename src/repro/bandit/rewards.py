@@ -36,6 +36,10 @@ class IPCReward:
         self._last_instructions = counters.committed_instructions
         self._last_cycles = counters.cycles
 
+    def elapsed_cycles(self, counters: PerformanceCounters) -> int:
+        """Cycles accumulated since the previous boundary (no snapshot)."""
+        return counters.cycles - self._last_cycles
+
     def step_reward(self, counters: PerformanceCounters) -> float:
         """IPC since the previous boundary; advances the snapshot."""
         instructions = counters.committed_instructions - self._last_instructions

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 from typing import List
 
-from repro.bandit.base import BanditConfig, MABAlgorithm
+from repro.bandit.base import MABAlgorithm
 
 # An arm whose (possibly discounted) selection count has decayed to nothing
 # carries an effectively infinite exploration bonus.

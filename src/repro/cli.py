@@ -11,6 +11,13 @@ Usage::
 Each subcommand prints the regenerated table/series in the same format as
 the benchmark harness. This exists so downstream users can reproduce a
 single figure without running pytest.
+
+Execution knobs shared by every subcommand: ``--jobs N`` fans trace
+replays out over a process pool (tables are byte-identical to a serial
+run), ``--cache-dir``/``--no-cache`` control the on-disk result cache, and
+a telemetry summary plus a JSON run manifest record what was executed
+versus served from cache. Telemetry goes to stderr so stdout stays
+exactly the table.
 """
 
 from __future__ import annotations
@@ -18,20 +25,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict
 
 import repro.experiments.figures as figures
 from repro.experiments.reporting import format_summary_table, format_table
+from repro.experiments.runner import ExecutionContext, ResultCache, use_context
 from repro.experiments.smt import SMTScale
+from repro.smt.bandit_control import SMTBanditConfig
 from repro.workloads.suites import tune_specs
+
+#: Default result-cache location (content-keyed; safe to delete any time).
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _smt_scale(args: argparse.Namespace) -> SMTScale:
     return SMTScale(
         epoch_cycles=args.epoch_cycles,
         total_epochs=args.epochs,
-        step_epochs=2,
-        step_epochs_rr=2,
+        step_epochs=args.step_epochs,
+        step_epochs_rr=args.step_epochs_rr,
     )
 
 
@@ -206,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
+    smt_defaults = SMTBanditConfig()
     for name in COMMANDS:
         cmd = sub.add_parser(name, help=f"regenerate {name}")
         cmd.add_argument("--trace-length", type=int, default=10_000,
@@ -218,6 +232,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SMT episode length in HC epochs")
         cmd.add_argument("--epoch-cycles", type=int, default=500,
                          help="cycles per Hill-Climbing epoch")
+        cmd.add_argument("--step-epochs", type=int,
+                         default=smt_defaults.step_epochs,
+                         help="HC epochs per SMT bandit step (Table 6)")
+        cmd.add_argument("--step-epochs-rr", type=int,
+                         default=smt_defaults.step_epochs_rr,
+                         help="HC epochs per round-robin step (Table 6)")
+        cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for trace replays")
+        cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help="on-disk result cache directory")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache")
         if name == "traces":
             cmd.add_argument("--output-dir", default="traces",
                              help="directory to write .trace.gz files into")
@@ -232,7 +258,21 @@ def main(argv=None) -> int:
         for name in COMMANDS:
             print(f"  {name}")
         return 0
-    COMMANDS[args.command](args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    context = ExecutionContext(jobs=args.jobs, cache=cache)
+    with use_context(context):
+        COMMANDS[args.command](args)
+    telemetry = context.telemetry
+    print(telemetry.summary_line(args.command, jobs=args.jobs),
+          file=sys.stderr)
+    if cache is not None and telemetry.tasks:
+        manifest_path = Path(args.cache_dir) / f"{args.command}.manifest.json"
+        telemetry.write_manifest(
+            manifest_path, command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            jobs=args.jobs,
+        )
+        print(f"[telemetry] manifest: {manifest_path}", file=sys.stderr)
     return 0
 
 

@@ -9,7 +9,6 @@ global time order, which is what creates the inter-core interference the
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, List, Optional, Sequence
 
 from repro.core_model.trace_core import CoreConfig, TraceCore

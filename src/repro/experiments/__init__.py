@@ -4,6 +4,8 @@
 - :mod:`repro.experiments.prefetch` — single-/multi-core prefetching runners.
 - :mod:`repro.experiments.smt` — SMT fetch PG policy runners.
 - :mod:`repro.experiments.figures` — one entry point per paper table/figure.
+- :mod:`repro.experiments.runner` — parallel task execution, result cache,
+  telemetry.
 - :mod:`repro.experiments.reporting` — text-table formatting helpers.
 """
 
@@ -23,6 +25,14 @@ from repro.experiments.prefetch import (
     run_multicore_bandit,
     run_multicore_fixed,
 )
+from repro.experiments.runner import (
+    ExecutionContext,
+    ResultCache,
+    RunTelemetry,
+    Task,
+    run_parallel,
+    use_context,
+)
 from repro.experiments.smt import (
     SMTRunResult,
     run_smt_bandit,
@@ -31,6 +41,12 @@ from repro.experiments.smt import (
 )
 
 __all__ = [
+    "ExecutionContext",
+    "ResultCache",
+    "RunTelemetry",
+    "Task",
+    "run_parallel",
+    "use_context",
     "ALT_HIERARCHY_CONFIG",
     "BASELINE_HIERARCHY_CONFIG",
     "PREFETCH_BANDIT_CONFIG",

@@ -17,8 +17,9 @@ taken from Table 6 unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
-from repro.bandit.base import BanditConfig
+from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
 from repro.core_model.trace_core import CoreConfig
 from repro.prefetch.ensemble import TABLE7_ARMS
@@ -102,6 +103,41 @@ def prefetch_bandit_algorithm(
             seed=seed,
         )
     )
+
+
+def table8_algorithm_lineup(
+    seed: int = 0,
+    gamma: float = 0.999,
+    num_arms: int = len(TABLE7_ARMS),
+    exploration_c: float = 0.04,
+) -> Dict[str, MABAlgorithm]:
+    """The §7.1 algorithm lineup of Table 8, keyed by its row labels.
+
+    ``gamma`` is a parameter because reproduction-scale runs shrink the
+    DUCB horizon with the episode (see ``figures.SCALED_GAMMA``).
+    """
+    from repro.bandit.epsilon_greedy import EpsilonGreedy
+    from repro.bandit.heuristics import Periodic, Single
+    from repro.bandit.ucb import UCB
+
+    return {
+        "Single": Single(BanditConfig(num_arms=num_arms, seed=seed)),
+        "Periodic": Periodic(
+            BanditConfig(num_arms=num_arms, seed=seed),
+            period=40, buffer_length=4,
+        ),
+        "eGreedy": EpsilonGreedy(
+            BanditConfig(num_arms=num_arms, epsilon=0.1, seed=seed)
+        ),
+        "UCB": UCB(
+            BanditConfig(num_arms=num_arms, exploration_c=exploration_c,
+                         seed=seed)
+        ),
+        "DUCB": DUCB(
+            BanditConfig(num_arms=num_arms, gamma=gamma,
+                         exploration_c=exploration_c, seed=seed)
+        ),
+    }
 
 
 @dataclass(frozen=True)

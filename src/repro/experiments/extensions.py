@@ -16,7 +16,7 @@ is the reusability argument of the paper in action.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bandit.base import BanditConfig, MABAlgorithm
@@ -29,7 +29,7 @@ from repro.experiments.configs import (
     PREFETCH_BANDIT_CONFIG,
     PrefetchBanditParams,
 )
-from repro.prefetch.ensemble import TABLE7_ARMS, ArmSpec, EnsemblePrefetcher
+from repro.prefetch.ensemble import EnsemblePrefetcher
 from repro.prefetch.stride import StridePrefetcher
 from repro.uncore.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.uncore.replacement import (
@@ -110,6 +110,7 @@ def run_joint_l1_l2_bandit(
             next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
             bandit.end_step(core.counters())
             apply(bandit.begin_step(core.retire_time))
+    bandit.flush_step(core.counters())
     hierarchy.finalize()
     return core.ipc, list(algorithm.selection_history)
 
@@ -189,5 +190,6 @@ def run_joint_prefetch_replacement_bandit(
             next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
             bandit.end_step(core.counters())
             apply(bandit.begin_step(core.retire_time))
+    bandit.flush_step(core.counters())
     hierarchy.finalize()
     return core.ipc, list(algorithm.selection_history)

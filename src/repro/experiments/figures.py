@@ -23,14 +23,21 @@ from repro.experiments.configs import (
     ALT_HIERARCHY_CONFIG,
     BASELINE_HIERARCHY_CONFIG,
     PREFETCH_BANDIT_CONFIG,
+    table8_algorithm_lineup,
 )
 from repro.experiments.prefetch import (
     best_static_arm,
     run_bandit_prefetch,
-    run_fixed_arm,
     run_fixed_prefetcher,
-    run_multicore_bandit,
-    run_multicore_fixed,
+)
+from repro.experiments.runner import (
+    Task,
+    bandit_prefetch_task,
+    best_static_arm_tasks,
+    fixed_prefetcher_task,
+    multicore_bandit_task,
+    multicore_fixed_task,
+    run_parallel,
 )
 from repro.experiments.smt import (
     DEFAULT_SMT_SCALE,
@@ -60,7 +67,6 @@ from repro.workloads.smt import smt_eval_mixes, smt_tune_mixes
 from repro.workloads.suites import (
     ALL_SUITES,
     WorkloadSpec,
-    eval_specs,
     spec_by_name,
     tune_specs,
 )
@@ -99,22 +105,7 @@ def _num_arms() -> int:
 
 def _bandit_algorithms(seed: int, gamma: float = SCALED_GAMMA) -> Dict[str, MABAlgorithm]:
     """The algorithm lineup of Tables 8/9 (prefetching hyperparameters)."""
-    arms = _num_arms()
-    return {
-        "Single": Single(BanditConfig(num_arms=arms, seed=seed)),
-        "Periodic": Periodic(
-            BanditConfig(num_arms=arms, seed=seed), period=40, buffer_length=4
-        ),
-        "eGreedy": EpsilonGreedy(
-            BanditConfig(num_arms=arms, epsilon=0.1, seed=seed)
-        ),
-        "UCB": UCB(BanditConfig(num_arms=arms, exploration_c=0.04, seed=seed)),
-        "DUCB": DUCB(
-            BanditConfig(
-                num_arms=arms, gamma=gamma, exploration_c=0.04, seed=seed
-            )
-        ),
-    }
+    return table8_algorithm_lineup(seed=seed, gamma=gamma, num_arms=_num_arms())
 
 
 # =============================================================== Figure 2
@@ -199,23 +190,45 @@ def table08_prefetch_tuneset(
     """min/max/gmean IPC as % of the best static arm (prefetching tune set)."""
     if workloads is None:
         workloads = tune_specs()
+    algorithm_names = ("Single", "Periodic", "eGreedy", "UCB", "DUCB")
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed),
+            label=f"table08:{spec.name}:none",
+        )
+        for spec in workloads
+    ])
+    tasks: List[Task] = []
+    for spec, base in zip(workloads, bases):
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        tasks.extend(best_static_arm_tasks(spec.name, trace_length, seed=seed))
+        tasks.append(Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
+                 prefetcher_name="pythia"),
+            label=f"table08:{spec.name}:pythia",
+        ))
+        tasks.extend(
+            Task(
+                bandit_prefetch_task,
+                dict(spec_name=spec.name, trace_length=trace_length,
+                     params=params, seed=seed, algorithm_name=name,
+                     algorithm_gamma=SCALED_GAMMA),
+                label=f"table08:{spec.name}:{name}",
+            )
+            for name in algorithm_names
+        )
+    results = iter(run_parallel(tasks))
     ratios: Dict[str, List[float]] = {
-        name: [] for name in
-        ("Pythia", "Single", "Periodic", "eGreedy", "UCB", "DUCB")
+        name: [] for name in ("Pythia",) + algorithm_names
     }
     for spec in workloads:
-        trace = spec.trace(trace_length, seed=seed)
-        base = run_fixed_prefetcher(trace, "none")
-        params = _scaled_params(base.stats.l2_demand_accesses)
-        _, per_arm = best_static_arm(trace)
-        oracle = max(per_arm.values())
-        pythia_ipc = run_fixed_prefetcher(trace, "pythia").ipc
-        ratios["Pythia"].append(pythia_ipc / oracle)
-        for name, algorithm in _bandit_algorithms(seed).items():
-            result = run_bandit_prefetch(
-                trace, algorithm=algorithm, params=params, seed=seed
-            )
-            ratios[name].append(result.ipc / oracle)
+        per_arm = [next(results).ipc for _ in range(_num_arms())]
+        oracle = max(per_arm)
+        ratios["Pythia"].append(next(results).ipc / oracle)
+        for name in algorithm_names:
+            ratios[name].append(next(results).ipc / oracle)
     return {
         name: summarize_ratios(values).as_percent()
         for name, values in ratios.items()
@@ -344,22 +357,42 @@ def fig08_singlecore(
     if suites is None:
         suites = list(ALL_SUITES)
     lineup = list(PREFETCHER_LINEUP) + ["bandit"]
+    members = [(suite, spec) for suite in suites for spec in ALL_SUITES[suite]]
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
+                 hierarchy_config=hierarchy_config),
+            label=f"fig08:{spec.name}:none",
+        )
+        for _, spec in members
+    ])
+    tasks: List[Task] = []
+    for (_, spec), base in zip(members, bases):
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        tasks.extend(
+            Task(
+                fixed_prefetcher_task,
+                dict(spec_name=spec.name, trace_length=trace_length,
+                     seed=seed, prefetcher_name=name,
+                     hierarchy_config=hierarchy_config),
+                label=f"fig08:{spec.name}:{name}",
+            )
+            for name in PREFETCHER_LINEUP
+        )
+        tasks.append(Task(
+            bandit_prefetch_task,
+            dict(spec_name=spec.name, trace_length=trace_length,
+                 params=params, seed=seed, hierarchy_config=hierarchy_config),
+            label=f"fig08:{spec.name}:bandit",
+        ))
+    results = iter(run_parallel(tasks))
     per_suite: Dict[str, Dict[str, List[float]]] = {
         suite: {name: [] for name in lineup} for suite in suites
     }
-    for suite in suites:
-        for spec in ALL_SUITES[suite]:
-            trace = spec.trace(trace_length, seed=seed)
-            base = run_fixed_prefetcher(trace, "none", hierarchy_config)
-            params = _scaled_params(base.stats.l2_demand_accesses)
-            for name in PREFETCHER_LINEUP:
-                ipc = run_fixed_prefetcher(trace, name, hierarchy_config).ipc
-                per_suite[suite][name].append(ipc / base.ipc)
-            bandit = run_bandit_prefetch(
-                trace, hierarchy_config=hierarchy_config, params=params,
-                seed=seed,
-            )
-            per_suite[suite]["bandit"].append(bandit.ipc / base.ipc)
+    for (suite, _), base in zip(members, bases):
+        for name in lineup:
+            per_suite[suite][name].append(next(results).ipc / base.ipc)
     result: Dict[str, Dict[str, float]] = {}
     all_values: Dict[str, List[float]] = {name: [] for name in lineup}
     for suite in suites:
@@ -404,22 +437,46 @@ def fig09_breakdown(
         name: {"llc_misses": 0.0, "timely": 0.0, "late": 0.0, "wrong": 0.0}
         for name in lineup
     }
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed),
+            label=f"fig09:{spec.name}:none",
+        )
+        for spec in workloads
+    ])
     baseline_misses = 0.0
-    for spec in workloads:
-        trace = spec.trace(trace_length, seed=seed)
-        base = run_fixed_prefetcher(trace, "none")
+    tasks: List[Task] = []
+    for spec, base in zip(workloads, bases):
         params = _scaled_params(base.stats.l2_demand_accesses)
         baseline_misses += base.stats.llc_demand_misses
         for name in lineup:
             if name == "bandit":
-                result = run_bandit_prefetch(trace, params=params, seed=seed)
+                task = Task(
+                    bandit_prefetch_task,
+                    dict(spec_name=spec.name, trace_length=trace_length,
+                         params=params, seed=seed),
+                    label=f"fig09:{spec.name}:bandit",
+                )
             elif name == "bandit_ideal":
-                result = run_bandit_prefetch(
-                    trace, params=params, seed=seed, ideal_latency=True
+                task = Task(
+                    bandit_prefetch_task,
+                    dict(spec_name=spec.name, trace_length=trace_length,
+                         params=params, seed=seed, ideal_latency=True),
+                    label=f"fig09:{spec.name}:bandit_ideal",
                 )
             else:
-                result = run_fixed_prefetcher(trace, name)
-            stats = result.stats
+                task = Task(
+                    fixed_prefetcher_task,
+                    dict(spec_name=spec.name, trace_length=trace_length,
+                         seed=seed, prefetcher_name=name),
+                    label=f"fig09:{spec.name}:{name}",
+                )
+            tasks.append(task)
+    results = iter(run_parallel(tasks))
+    for spec in workloads:
+        for name in lineup:
+            stats = next(results).stats
             sums[name]["llc_misses"] += stats.llc_demand_misses
             sums[name]["timely"] += stats.prefetch.timely
             sums[name]["late"] += stats.prefetch.late
@@ -446,30 +503,51 @@ def fig10_bandwidth_sweep(
     Returns ``{mtps: {"pythia": gmean_norm_ipc, "bandit": gmean_norm_ipc}}``
     normalized to no-prefetching at the same bandwidth.
     """
+    from dataclasses import replace as dc_replace
+
     if workloads is None:
         workloads = tune_specs()
-    result: Dict[float, Dict[str, float]] = {}
-    for mtps in mtps_values:
-        from dataclasses import replace as dc_replace
-
-        config = dc_replace(BASELINE_HIERARCHY_CONFIG, dram_mtps=mtps)
-        pythia_ratios: List[float] = []
-        bandit_ratios: List[float] = []
-        for spec in workloads:
-            trace = spec.trace(trace_length, seed=seed)
-            base = run_fixed_prefetcher(trace, "none", config)
-            params = _scaled_params(base.stats.l2_demand_accesses)
-            pythia = run_fixed_prefetcher(trace, "pythia", config).ipc
-            bandit = run_bandit_prefetch(
-                trace, hierarchy_config=config, params=params, seed=seed
-            ).ipc
-            pythia_ratios.append(pythia / base.ipc)
-            bandit_ratios.append(bandit / base.ipc)
-        result[mtps] = {
-            "pythia": geometric_mean(pythia_ratios),
-            "bandit": geometric_mean(bandit_ratios),
-        }
-    return result
+    points = [
+        (dc_replace(BASELINE_HIERARCHY_CONFIG, dram_mtps=mtps), spec)
+        for mtps in mtps_values
+        for spec in workloads
+    ]
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
+                 hierarchy_config=config),
+            label=f"fig10:{config.dram_mtps:g}:{spec.name}:none",
+        )
+        for config, spec in points
+    ])
+    tasks: List[Task] = []
+    for (config, spec), base in zip(points, bases):
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        tasks.append(Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
+                 prefetcher_name="pythia", hierarchy_config=config),
+            label=f"fig10:{config.dram_mtps:g}:{spec.name}:pythia",
+        ))
+        tasks.append(Task(
+            bandit_prefetch_task,
+            dict(spec_name=spec.name, trace_length=trace_length,
+                 params=params, seed=seed, hierarchy_config=config),
+            label=f"fig10:{config.dram_mtps:g}:{spec.name}:bandit",
+        ))
+    results = iter(run_parallel(tasks))
+    ratios: Dict[float, Dict[str, List[float]]] = {
+        mtps: {"pythia": [], "bandit": []} for mtps in mtps_values
+    }
+    for (config, _), base in zip(points, bases):
+        point = ratios[config.dram_mtps]
+        point["pythia"].append(next(results).ipc / base.ipc)
+        point["bandit"].append(next(results).ipc / base.ipc)
+    return {
+        mtps: {name: geometric_mean(values) for name, values in point.items()}
+        for mtps, point in ratios.items()
+    }
 
 
 # =============================================================== Figure 12
@@ -487,79 +565,61 @@ def fig12_multilevel(
     """
     if workloads is None:
         workloads = tune_specs()
-    ratios: Dict[str, List[float]] = {
-        "stride_stride": [],
-        "ipcp": [],
-        "stride_pythia": [],
-        "stride_bandit": [],
-    }
-    for spec in workloads:
-        trace = spec.trace(trace_length, seed=seed)
-        base = run_fixed_prefetcher(trace, "none")
+    combos = (
+        ("stride_stride", "stride", "stride2"),
+        ("ipcp", "ipcp", "ipcp2"),
+        ("stride_pythia", "pythia", "stride2"),
+        ("stride_bandit", None, "stride2"),
+    )
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed),
+            label=f"fig12:{spec.name}:none",
+        )
+        for spec in workloads
+    ])
+    tasks: List[Task] = []
+    for spec, base in zip(workloads, bases):
         params = _scaled_params(base.stats.l2_demand_accesses)
-        l1 = StridePrefetcher(degree=2)
-        ratios["stride_stride"].append(
-            run_fixed_prefetcher(trace, "stride", l1_prefetcher=l1).ipc / base.ipc
-        )
-        ratios["ipcp"].append(
-            run_fixed_prefetcher(
-                trace, "ipcp", l1_prefetcher=IPCPL1()
-            ).ipc / base.ipc
-        )
-        ratios["stride_pythia"].append(
-            run_fixed_prefetcher(
-                trace, "pythia", l1_prefetcher=StridePrefetcher(degree=2)
-            ).ipc / base.ipc
-        )
-        bandit = run_bandit_prefetch_with_l1(trace, params=params, seed=seed)
-        ratios["stride_bandit"].append(bandit / base.ipc)
+        for combo, l2_name, l1_kind in combos:
+            if l2_name is None:
+                task = Task(
+                    bandit_prefetch_task,
+                    dict(spec_name=spec.name, trace_length=trace_length,
+                         params=params, seed=seed, l1_kind=l1_kind),
+                    label=f"fig12:{spec.name}:{combo}",
+                )
+            else:
+                task = Task(
+                    fixed_prefetcher_task,
+                    dict(spec_name=spec.name, trace_length=trace_length,
+                         seed=seed, prefetcher_name=l2_name, l1_kind=l1_kind),
+                    label=f"fig12:{spec.name}:{combo}",
+                )
+            tasks.append(task)
+    results = iter(run_parallel(tasks))
+    ratios: Dict[str, List[float]] = {combo: [] for combo, _, _ in combos}
+    for spec, base in zip(workloads, bases):
+        for combo, _, _ in combos:
+            ratios[combo].append(next(results).ipc / base.ipc)
     return {name: geometric_mean(values) for name, values in ratios.items()}
 
 
-def IPCPL1():
-    """L1 instance of IPCP for the multi-level configuration."""
-    from repro.prefetch.ipcp import IPCPPrefetcher
-
-    return IPCPPrefetcher(cs_degree=2, gs_degree=2)
-
-
 def run_bandit_prefetch_with_l1(trace, params=None, seed: int = 0) -> float:
-    """Stride at L1 + Bandit-controlled ensemble at L2; returns IPC."""
-    from repro.bandit.hardware import MicroArmedBandit
-    from repro.core_model.trace_core import TraceCore
-    from repro.experiments.configs import (
-        CORE_CONFIG_TABLE4,
-        prefetch_bandit_algorithm,
-    )
-    from repro.prefetch.ensemble import EnsemblePrefetcher
-    from repro.uncore.hierarchy import CacheHierarchy
+    """Stride at L1 + Bandit-controlled ensemble at L2; returns IPC.
 
+    Thin wrapper over :func:`run_bandit_prefetch`'s ``l1_prefetcher``
+    support, kept for API compatibility.
+    """
     if params is None:
         params = PREFETCH_BANDIT_CONFIG
-    ensemble = EnsemblePrefetcher()
-    hierarchy = CacheHierarchy(
-        BASELINE_HIERARCHY_CONFIG,
-        l2_prefetcher=ensemble,
+    return run_bandit_prefetch(
+        trace,
+        params=params,
+        seed=seed,
         l1_prefetcher=StridePrefetcher(degree=2),
-    )
-    core = TraceCore(hierarchy, CORE_CONFIG_TABLE4)
-    bandit = MicroArmedBandit(
-        prefetch_bandit_algorithm(seed=seed),
-        selection_latency_cycles=params.selection_latency_cycles,
-    )
-    bandit.reset_counters(core.counters())
-    arm = bandit.begin_step(0.0)
-    ensemble.set_arm(arm)
-    next_boundary = params.step_l2_accesses
-    stats = hierarchy.stats
-    for record in trace:
-        core.execute(record)
-        if stats.l2_demand_accesses >= next_boundary:
-            next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
-            bandit.end_step(core.counters())
-            ensemble.set_arm(bandit.begin_step(core.retire_time))
-    hierarchy.finalize()
-    return core.ipc
+    ).ipc
 
 
 # =============================================================== Figure 13
@@ -611,22 +671,40 @@ def fig14_fourcore(
     """
     specs = tune_specs()[:max_mixes]
     lineup = list(PREFETCHER_LINEUP) + ["bandit"]
-    ratios: Dict[str, List[float]] = {name: [] for name in lineup}
-    for spec in specs:
-        traces = [
-            spec.trace(trace_length, seed=seed + core, gap_scale=gap_scale)
-            for core in range(4)
-        ]
-        base_ipc, base_system = run_multicore_fixed(traces, "none")
-        mean_l2 = sum(
-            h.stats.l2_demand_accesses for h in base_system.hierarchies
-        ) // 4
+    seeds = [seed + core for core in range(4)]
+    bases = run_parallel([
+        Task(
+            multicore_fixed_task,
+            dict(spec_names=[spec.name] * 4, trace_length=trace_length,
+                 seeds=seeds, gap_scale=gap_scale),
+            label=f"fig14:{spec.name}:none",
+        )
+        for spec in specs
+    ])
+    tasks: List[Task] = []
+    for spec, base in zip(specs, bases):
+        mean_l2 = sum(base["l2_demand_accesses"]) // 4
         params = _scaled_params(mean_l2)
-        for name in PREFETCHER_LINEUP:
-            ipc, _ = run_multicore_fixed(traces, name)
-            ratios[name].append(ipc / base_ipc)
-        bandit_ipc, _ = run_multicore_bandit(traces, params=params, seed=seed)
-        ratios["bandit"].append(bandit_ipc / base_ipc)
+        tasks.extend(
+            Task(
+                multicore_fixed_task,
+                dict(spec_names=[spec.name] * 4, trace_length=trace_length,
+                     seeds=seeds, prefetcher_name=name, gap_scale=gap_scale),
+                label=f"fig14:{spec.name}:{name}",
+            )
+            for name in PREFETCHER_LINEUP
+        )
+        tasks.append(Task(
+            multicore_bandit_task,
+            dict(spec_names=[spec.name] * 4, trace_length=trace_length,
+                 seeds=seeds, params=params, seed=seed, gap_scale=gap_scale),
+            label=f"fig14:{spec.name}:bandit",
+        ))
+    results = iter(run_parallel(tasks))
+    ratios: Dict[str, List[float]] = {name: [] for name in lineup}
+    for spec, base in zip(specs, bases):
+        for name in lineup:
+            ratios[name].append(next(results)["total_ipc"] / base["total_ipc"])
     return {name: geometric_mean(values) for name, values in ratios.items()}
 
 

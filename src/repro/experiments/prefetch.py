@@ -17,7 +17,7 @@ hierarchy with a chosen prefetcher configuration:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bandit.base import MABAlgorithm
@@ -31,7 +31,7 @@ from repro.experiments.configs import (
     PrefetchBanditParams,
     prefetch_bandit_algorithm,
 )
-from repro.prefetch.base import NullPrefetcher, Prefetcher
+from repro.prefetch.base import Prefetcher
 from repro.prefetch.bingo import BingoPrefetcher
 from repro.prefetch.bop import BOPrefetcher
 from repro.prefetch.ensemble import EnsemblePrefetcher
@@ -39,7 +39,6 @@ from repro.prefetch.ip_stride import IPStridePrefetcher
 from repro.prefetch.ipcp import IPCPPrefetcher
 from repro.prefetch.mlop import MLOPPrefetcher
 from repro.prefetch.pythia import PythiaPrefetcher
-from repro.prefetch.stride import StridePrefetcher
 from repro.uncore.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
 from repro.workloads.trace import TraceRecord
 
@@ -89,8 +88,7 @@ def _make_bandwidth_probe(hierarchy_holder: Optional[list]) -> Callable[[], floa
             return 0.0
         hierarchy: CacheHierarchy = hierarchy_holder[0]
         dram = hierarchy.dram
-        backlog = dram.channel_free_at
-        # Treat a channel backlog of more than 8 line-times as high usage.
+        # Treat an average queue delay of more than 4 line-times as high usage.
         return 1.0 if dram.average_queue_delay() > 4 * dram.cycles_per_line else 0.0
 
     return probe
@@ -166,11 +164,13 @@ def run_bandit_prefetch(
     params: PrefetchBanditParams = PREFETCH_BANDIT_CONFIG,
     seed: int = 0,
     ideal_latency: bool = False,
+    l1_prefetcher: Optional[Prefetcher] = None,
 ) -> PrefetchRunResult:
     """Replay ``trace`` with the Micro-Armed Bandit driving the ensemble.
 
     ``ideal_latency`` removes the 500-cycle selection latency (the
-    *BanditIdeal* configuration of Figure 9).
+    *BanditIdeal* configuration of Figure 9). ``l1_prefetcher`` optionally
+    adds a fixed L1 prefetcher underneath (Figure 12's Stride_Bandit).
     """
     if algorithm is None:
         algorithm = prefetch_bandit_algorithm(seed=seed, params=params)
@@ -178,7 +178,9 @@ def run_bandit_prefetch(
         num_stride_trackers=params.num_stride_trackers,
         num_stream_trackers=params.num_stream_trackers,
     )
-    hierarchy = CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble)
+    hierarchy = CacheHierarchy(
+        hierarchy_config, l2_prefetcher=ensemble, l1_prefetcher=l1_prefetcher
+    )
     core = TraceCore(hierarchy, core_config)
     latency = 0 if ideal_latency else params.selection_latency_cycles
     bandit = MicroArmedBandit(algorithm, selection_latency_cycles=latency)
@@ -204,6 +206,9 @@ def run_bandit_prefetch(
             if ideal_latency:
                 ensemble.set_arm(pending_arm)
                 applied_arm = pending_arm
+    # The last begin_step() is still awaiting its reward: train on the
+    # trailing partial step (or retract it if it covered zero cycles).
+    bandit.flush_step(core.counters())
     hierarchy.finalize()
     return PrefetchRunResult(
         ipc=core.ipc,
@@ -290,4 +295,6 @@ def run_multicore_bandit(
             pending[core_index] = bandit.begin_step(core.retire_time)
 
     system.run(traces, per_record_hook=hook)
+    for index, bandit in enumerate(bandits):
+        bandit.flush_step(system.cores[index].counters())
     return system.total_ipc(), system

@@ -10,8 +10,20 @@ def format_table(
     rows: Iterable[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Render an aligned plain-text table (the bench harness prints these)."""
+    """Render an aligned plain-text table (the bench harness prints these).
+
+    Rows shorter than the header are padded with empty cells; rows longer
+    than the header are rejected (silently dropping data would corrupt a
+    reproduction table).
+    """
     materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for index, row in enumerate(materialized):
+        if len(row) > len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells but only "
+                f"{len(headers)} headers: {row!r}"
+            )
+        row.extend([""] * (len(headers) - len(row)))
     widths = [len(header) for header in headers]
     for row in materialized:
         for index, cell in enumerate(row):

@@ -1,0 +1,613 @@
+"""Parallel experiment execution engine with result caching and telemetry.
+
+Every paper figure decomposes into independent *tasks* — one trace replay
+(or one SMT mix run) each. This module executes such task lists:
+
+- :func:`run_parallel` — a deterministic parallel map over :class:`Task`
+  lists. Results come back in submission order regardless of completion
+  order, and every task carries its own seed in its kwargs, so ``--jobs 4``
+  produces bit-identical figures to a serial run.
+- :class:`ResultCache` — a content-keyed on-disk cache. The key is a stable
+  SHA-256 over the task function's qualified name and a canonical encoding
+  of its kwargs (workload spec name, trace length, seeds, and the config
+  dataclasses), so a replay is re-executed only when an input changed.
+  Payloads are pickled :class:`~repro.experiments.prefetch.PrefetchRunResult`
+  / :class:`~repro.experiments.smt.SMTRunResult` values (or plain dicts);
+  bumping :data:`CACHE_SCHEMA_VERSION` invalidates every stored entry.
+- :class:`RunTelemetry` — per-task wall time and cache hit/miss accounting,
+  plus a JSON run manifest emitted alongside the tables.
+
+Experiment code does not pass the engine around: an
+:class:`ExecutionContext` (jobs, cache, telemetry) is installed globally —
+by the CLI from ``--jobs``/``--cache-dir``/``--no-cache``, or by the
+benchmark harness — and :func:`run_parallel` picks it up. The default
+context is serial and uncached, which keeps library use dependency-free.
+
+Task *functions* must be module-level (the process pool pickles them by
+reference) and must rebuild their inputs from picklable descriptions; the
+ones defined here regenerate workload traces from spec names, which is
+deterministic because trace generation is seeded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields, is_dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core_model.trace_core import CoreConfig
+from repro.experiments.configs import (
+    BASELINE_HIERARCHY_CONFIG,
+    CORE_CONFIG_TABLE4,
+    PrefetchBanditParams,
+    table8_algorithm_lineup,
+)
+from repro.experiments.prefetch import (
+    PrefetchRunResult,
+    run_bandit_prefetch,
+    run_fixed_arm,
+    run_fixed_prefetcher,
+    run_multicore_bandit,
+    run_multicore_fixed,
+)
+from repro.experiments.smt import (
+    DEFAULT_SMT_SCALE,
+    SMTRunResult,
+    SMTScale,
+    run_smt_bandit,
+    run_smt_static,
+)
+from repro.prefetch.base import Prefetcher
+from repro.uncore.hierarchy import HierarchyConfig
+from repro.workloads.suites import spec_by_name
+
+#: Bump to invalidate every cached result (simulator-visible semantics
+#: changed: result dataclass layout, replay fidelity fixes, ...).
+CACHE_SCHEMA_VERSION = 1
+
+
+# ============================================================== cache keys
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-serializable canonical form of a task input.
+
+    Stable across processes and interpreter runs: dataclasses flatten to
+    ``[type name, sorted field/value pairs]``, dict items are sorted, floats
+    go through ``repr`` (shortest round-trip form), and sets/ids/objects are
+    rejected so unstable inputs fail loudly instead of hashing differently.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return [
+            "@dc",
+            type(value).__name__,
+            [[f.name, _canonical(getattr(value, f.name))] for f in fields(value)],
+        ]
+    if isinstance(value, dict):
+        items = [
+            [json.dumps(_canonical(k), sort_keys=True), _canonical(v)]
+            for k, v in value.items()
+        ]
+        return ["@dict", sorted(items, key=lambda kv: kv[0])]
+    if isinstance(value, (list, tuple)):
+        return ["@seq", [_canonical(item) for item in value]]
+    if isinstance(value, float):
+        return ["@f", repr(value)]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(
+        f"cannot build a stable cache key from {type(value).__name__!r}; "
+        "pass plain data or dataclasses"
+    )
+
+
+def task_key(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> str:
+    """Stable content hash identifying one task execution."""
+    payload = json.dumps(
+        [
+            "repro-task",
+            CACHE_SCHEMA_VERSION,
+            f"{fn.__module__}.{fn.__qualname__}",
+            _canonical(kwargs),
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ==================================================================== tasks
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of experiment work: a module-level function plus kwargs."""
+
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any]
+    label: str = ""
+    #: Set False for tasks whose inputs cannot be content-hashed.
+    cacheable: bool = True
+
+    def key(self) -> str:
+        return task_key(self.fn, self.kwargs)
+
+
+# ==================================================================== cache
+
+
+class ResultCache:
+    """Content-keyed pickle store under ``directory/v<schema>/``.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent workers
+    and concurrent CLI invocations may share one cache directory. Unreadable
+    or truncated entries are treated as misses and overwritten.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.root = Path(directory)
+        self.directory = self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Returns ``(hit, value)``; corrupt entries count as misses."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+
+# ================================================================ telemetry
+
+
+@dataclass
+class TaskRecord:
+    """Telemetry for one executed (or cache-served) task."""
+
+    label: str
+    key: str
+    seconds: float
+    cache_hit: bool
+
+
+class RunTelemetry:
+    """Per-task wall time and cache accounting for one logical run."""
+
+    def __init__(self) -> None:
+        self.tasks: List[TaskRecord] = []
+        self._started = time.perf_counter()
+
+    def record(self, label: str, key: str, seconds: float, cache_hit: bool) -> None:
+        self.tasks.append(TaskRecord(label, key, seconds, cache_hit))
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.tasks if record.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for record in self.tasks if not record.cache_hit)
+
+    @property
+    def task_seconds(self) -> float:
+        """Summed per-task execution time (not wall time under a pool)."""
+        return sum(record.seconds for record in self.tasks)
+
+    @property
+    def wall_seconds(self) -> float:
+        return time.perf_counter() - self._started
+
+    def summary_line(self, name: str = "run", jobs: int = 1) -> str:
+        return (
+            f"[telemetry] {name}: {len(self.tasks)} tasks "
+            f"({self.cache_hits} cache hits, {self.cache_misses} misses), "
+            f"task time {self.task_seconds:.2f}s, "
+            f"wall {self.wall_seconds:.2f}s, jobs {jobs}"
+        )
+
+    def manifest(self, **extra: Any) -> Dict[str, Any]:
+        """The JSON run manifest emitted alongside the tables."""
+        body: Dict[str, Any] = {
+            "manifest_version": 1,
+            "cache_schema_version": CACHE_SCHEMA_VERSION,
+            "totals": {
+                "tasks": len(self.tasks),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "task_seconds": round(self.task_seconds, 6),
+                "wall_seconds": round(self.wall_seconds, 6),
+            },
+            "tasks": [
+                {
+                    "label": record.label,
+                    "key": record.key,
+                    "seconds": round(record.seconds, 6),
+                    "cache_hit": record.cache_hit,
+                }
+                for record in self.tasks
+            ],
+        }
+        body.update(extra)
+        return body
+
+    def write_manifest(self, path: str | Path, **extra: Any) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.manifest(**extra), indent=2) + "\n")
+        return path
+
+
+# ================================================================== context
+
+
+@dataclass
+class ExecutionContext:
+    """How experiment task lists execute: parallelism, cache, telemetry."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    telemetry: RunTelemetry = field(default_factory=RunTelemetry)
+
+
+_ACTIVE_CONTEXT = ExecutionContext()
+
+
+def get_context() -> ExecutionContext:
+    """The context :func:`run_parallel` uses when given no overrides."""
+    return _ACTIVE_CONTEXT
+
+
+def set_context(context: ExecutionContext) -> ExecutionContext:
+    """Install ``context`` globally; returns the previous one."""
+    global _ACTIVE_CONTEXT
+    previous = _ACTIVE_CONTEXT
+    _ACTIVE_CONTEXT = context
+    return previous
+
+
+@contextmanager
+def use_context(context: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Temporarily install ``context`` (CLI and test harness entry point)."""
+    previous = set_context(context)
+    try:
+        yield context
+    finally:
+        set_context(previous)
+
+
+# ============================================================= parallel map
+
+
+def _execute_timed(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Tuple[Any, float]:
+    """Worker entry point: run one task and measure its wall time."""
+    start = time.perf_counter()
+    value = fn(**kwargs)
+    return value, time.perf_counter() - start
+
+
+def run_parallel(
+    tasks: Sequence[Task],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] | str = "context",
+    telemetry: Optional[RunTelemetry] = None,
+) -> List[Any]:
+    """Execute ``tasks``, returning results in submission order.
+
+    ``jobs``/``cache``/``telemetry`` default to the active
+    :class:`ExecutionContext`. ``jobs <= 1`` runs in-process (and is the
+    reference behaviour the pool must reproduce exactly); higher values fan
+    misses out over a ``ProcessPoolExecutor``. Cached results short-circuit
+    execution entirely and are recorded as hits in the telemetry.
+    """
+    context = get_context()
+    if jobs is None:
+        jobs = context.jobs
+    if cache == "context":
+        cache = context.cache
+    if telemetry is None:
+        telemetry = context.telemetry
+
+    results: List[Any] = [None] * len(tasks)
+    pending: List[Tuple[int, Optional[str], Task]] = []
+    for index, task in enumerate(tasks):
+        key = task.key() if (cache is not None and task.cacheable) else None
+        if key is not None:
+            hit, value = cache.get(key)
+            if hit:
+                results[index] = value
+                telemetry.record(task.label, key, 0.0, cache_hit=True)
+                continue
+        pending.append((index, key, task))
+
+    def finish(index: int, key: Optional[str], task: Task,
+               value: Any, seconds: float) -> None:
+        results[index] = value
+        if key is not None:
+            cache.put(key, value)
+        telemetry.record(task.label, key or "", seconds, cache_hit=False)
+
+    if not pending:
+        return results
+    if jobs <= 1 or len(pending) == 1:
+        for index, key, task in pending:
+            value, seconds = _execute_timed(task.fn, dict(task.kwargs))
+            finish(index, key, task, value, seconds)
+        return results
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {
+            pool.submit(_execute_timed, task.fn, dict(task.kwargs)):
+                (index, key, task)
+            for index, key, task in pending
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, key, task = futures[future]
+                value, seconds = future.result()
+                finish(index, key, task, value, seconds)
+    return results
+
+
+# ======================================================= experiment tasks
+
+
+def _make_l1(l1_kind: Optional[str]) -> Optional[Prefetcher]:
+    """Build the fixed L1 prefetchers of Figure 12 from a picklable tag."""
+    if l1_kind is None:
+        return None
+    if l1_kind == "stride2":
+        from repro.prefetch.stride import StridePrefetcher
+
+        return StridePrefetcher(degree=2)
+    if l1_kind == "ipcp2":
+        from repro.prefetch.ipcp import IPCPPrefetcher
+
+        return IPCPPrefetcher(cs_degree=2, gs_degree=2)
+    raise ValueError(f"unknown l1_kind {l1_kind!r}")
+
+
+def fixed_prefetcher_task(
+    *,
+    spec_name: str,
+    trace_length: int,
+    seed: int = 0,
+    prefetcher_name: str = "none",
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+    l1_kind: Optional[str] = None,
+    gap_scale: float = 1.0,
+) -> PrefetchRunResult:
+    """One comparator-prefetcher replay, rebuilt from its spec name."""
+    trace = spec_by_name(spec_name).trace(trace_length, seed=seed,
+                                          gap_scale=gap_scale)
+    return run_fixed_prefetcher(
+        trace, prefetcher_name, hierarchy_config, core_config,
+        l1_prefetcher=_make_l1(l1_kind),
+    )
+
+
+def fixed_arm_task(
+    *,
+    spec_name: str,
+    trace_length: int,
+    arm: int,
+    seed: int = 0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+) -> PrefetchRunResult:
+    """One fixed-ensemble-arm replay (a best-static-arm sample)."""
+    trace = spec_by_name(spec_name).trace(trace_length, seed=seed)
+    return run_fixed_arm(trace, arm, hierarchy_config, core_config)
+
+
+def bandit_prefetch_task(
+    *,
+    spec_name: str,
+    trace_length: int,
+    params: PrefetchBanditParams,
+    seed: int = 0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+    algorithm_name: Optional[str] = None,
+    algorithm_gamma: float = 0.999,
+    ideal_latency: bool = False,
+    l1_kind: Optional[str] = None,
+) -> PrefetchRunResult:
+    """One Micro-Armed-Bandit replay.
+
+    ``algorithm_name`` selects a Table 8 lineup entry (Single / Periodic /
+    eGreedy / UCB / DUCB) built with ``algorithm_gamma``; ``None`` uses the
+    paper's default DUCB with the γ from ``params``.
+    """
+    trace = spec_by_name(spec_name).trace(trace_length, seed=seed)
+    algorithm = None
+    if algorithm_name is not None:
+        algorithm = table8_algorithm_lineup(
+            seed=seed, gamma=algorithm_gamma
+        )[algorithm_name]
+    return run_bandit_prefetch(
+        trace,
+        algorithm=algorithm,
+        hierarchy_config=hierarchy_config,
+        core_config=core_config,
+        params=params,
+        seed=seed,
+        ideal_latency=ideal_latency,
+        l1_prefetcher=_make_l1(l1_kind),
+    )
+
+
+def multicore_fixed_task(
+    *,
+    spec_names: Sequence[str],
+    trace_length: int,
+    seeds: Sequence[int],
+    prefetcher_name: str = "none",
+    gap_scale: float = 1.0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+) -> Dict[str, Any]:
+    """One N-core fixed-prefetcher run; returns a small picklable payload."""
+    traces = [
+        spec_by_name(name).trace(trace_length, seed=seed, gap_scale=gap_scale)
+        for name, seed in zip(spec_names, seeds)
+    ]
+    total_ipc, system = run_multicore_fixed(
+        traces, prefetcher_name, hierarchy_config, core_config
+    )
+    return {
+        "total_ipc": total_ipc,
+        "l2_demand_accesses": [
+            hierarchy.stats.l2_demand_accesses
+            for hierarchy in system.hierarchies
+        ],
+    }
+
+
+def multicore_bandit_task(
+    *,
+    spec_names: Sequence[str],
+    trace_length: int,
+    seeds: Sequence[int],
+    params: PrefetchBanditParams,
+    seed: int = 0,
+    gap_scale: float = 1.0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+) -> Dict[str, Any]:
+    """One N-core per-core-bandit run (§7.2.3)."""
+    traces = [
+        spec_by_name(name).trace(trace_length, seed=s, gap_scale=gap_scale)
+        for name, s in zip(spec_names, seeds)
+    ]
+    total_ipc, _ = run_multicore_bandit(
+        traces, hierarchy_config, core_config, params, seed=seed
+    )
+    return {"total_ipc": total_ipc}
+
+
+def smt_static_task(
+    *,
+    thread_names: Tuple[str, str],
+    policy_mnemonic: str,
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    seed: int = 0,
+) -> SMTRunResult:
+    """One SMT mix under a fixed PG policy, rebuilt from mnemonics."""
+    from repro.smt.pg_policy import PGPolicy
+    from repro.workloads.smt import thread_profile
+
+    mix = (thread_profile(thread_names[0]), thread_profile(thread_names[1]))
+    policy = PGPolicy.from_mnemonic(policy_mnemonic)
+    return run_smt_static(mix, policy, scale, seed=seed)
+
+
+def smt_bandit_task(
+    *,
+    thread_names: Tuple[str, str],
+    scale: SMTScale = DEFAULT_SMT_SCALE,
+    seed: int = 0,
+) -> SMTRunResult:
+    """One SMT mix under default Bandit PG-policy control (§5.3)."""
+    from repro.workloads.smt import thread_profile
+
+    mix = (thread_profile(thread_names[0]), thread_profile(thread_names[1]))
+    return run_smt_bandit(mix, scale, seed=seed)
+
+
+# ==================================================== best-static-arm fanout
+
+
+def best_static_arm_tasks(
+    spec_name: str,
+    trace_length: int,
+    seed: int = 0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    num_arms: Optional[int] = None,
+) -> List[Task]:
+    """The per-arm task list behind the §6.4 best-static-arm oracle."""
+    if num_arms is None:
+        from repro.prefetch.ensemble import TABLE7_ARMS
+
+        num_arms = len(TABLE7_ARMS)
+    return [
+        Task(
+            fixed_arm_task,
+            dict(
+                spec_name=spec_name,
+                trace_length=trace_length,
+                arm=arm,
+                seed=seed,
+                hierarchy_config=hierarchy_config,
+            ),
+            label=f"{spec_name}:arm{arm}",
+        )
+        for arm in range(num_arms)
+    ]
+
+
+def parallel_best_static_arm(
+    spec_name: str,
+    trace_length: int,
+    seed: int = 0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    num_arms: Optional[int] = None,
+) -> Tuple[int, Dict[int, float]]:
+    """:func:`repro.experiments.prefetch.best_static_arm` as a task fanout.
+
+    Returns the same ``(best arm, per-arm IPC)`` pair, computed through the
+    active execution context (parallel + cached when configured).
+    """
+    tasks = best_static_arm_tasks(
+        spec_name, trace_length, seed, hierarchy_config, num_arms
+    )
+    results = run_parallel(tasks)
+    per_arm = {task.kwargs["arm"]: result.ipc
+               for task, result in zip(tasks, results)}
+    best = max(per_arm, key=per_arm.get)
+    return best, per_arm

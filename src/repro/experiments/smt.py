@@ -12,14 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bandit.base import BanditConfig, MABAlgorithm
+from repro.bandit.base import MABAlgorithm
 from repro.experiments.configs import SMT_CONFIG_TABLE5, scaled_hill_climbing
 from repro.smt.bandit_control import (
     BanditFetchController,
     SMTBanditConfig,
     run_static_policy,
 )
-from repro.smt.hill_climbing import HillClimbingConfig
 from repro.smt.pg_policy import BANDIT_PG_ARMS, CHOI_POLICY, PGPolicy
 from repro.smt.pipeline import RenameActivity, SMTConfig, SMTPipeline
 from repro.workloads.smt import ThreadProfile

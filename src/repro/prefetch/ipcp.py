@@ -17,8 +17,8 @@ here a single instance can be attached at either level.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 from repro.prefetch.base import Prefetcher
 

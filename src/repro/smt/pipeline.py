@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt.fetch_policy import pick_thread
@@ -239,7 +239,6 @@ class SMTPipeline:
         if not iq:
             return
         issued_any = False
-        config = self.config
         for entry in iq:
             if budget == 0:
                 break

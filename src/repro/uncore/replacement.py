@@ -14,7 +14,7 @@ policy (the action space is the product of the two, as §9 notes).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Optional
 
 from repro.uncore.cache import Cache, CacheLine
 

@@ -30,7 +30,7 @@ accidentally alias.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.util.rng import make_rng

@@ -13,7 +13,7 @@ are reserved to test adaptability to unseen applications, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.util.rng import derive_seed
 from repro.workloads.generators import GeneratorParams, generate_trace

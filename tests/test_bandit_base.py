@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bandit.base import ArmEstimate, BanditConfig, MABAlgorithm
+from repro.bandit.base import BanditConfig
 from repro.bandit.ducb import DUCB
 from repro.bandit.epsilon_greedy import EpsilonGreedy
 from repro.bandit.ucb import UCB

@@ -106,3 +106,60 @@ class TestMicroArmedBandit:
             bandit.begin_step(float(step))
             bandit.end_step(PerformanceCounters(step * 10 + 10, step * 10 + 10))
         assert not bandit.in_round_robin_phase
+
+
+class TestFlushStep:
+    def make(self):
+        algorithm = DUCB(BanditConfig(num_arms=3, seed=0))
+        return MicroArmedBandit(algorithm, selection_latency_cycles=0), algorithm
+
+    def test_flush_trains_on_trailing_partial_step(self):
+        bandit, algorithm = self.make()
+        bandit.reset_counters(PerformanceCounters(0, 0))
+        bandit.begin_step(0.0)
+        bandit.end_step(PerformanceCounters(100, 100))
+        bandit.begin_step(100.0)
+        # Episode ends mid-step: the selection must still earn its reward.
+        reward = bandit.flush_step(PerformanceCounters(150, 200))
+        assert reward == pytest.approx(0.5)
+        assert bandit.steps_completed == 2
+        assert len(algorithm.selection_history) == 2
+
+    def test_flush_retracts_zero_cycle_step(self):
+        bandit, algorithm = self.make()
+        bandit.reset_counters(PerformanceCounters(0, 0))
+        bandit.begin_step(0.0)
+        bandit.end_step(PerformanceCounters(100, 100))
+        bandit.begin_step(100.0)
+        # The trailing step covered zero cycles: no defined IPC, so the
+        # pending selection is cancelled rather than trained on garbage.
+        assert bandit.flush_step(PerformanceCounters(100, 100)) is None
+        assert bandit.steps_completed == 1
+        assert len(algorithm.selection_history) == 1
+
+    def test_flush_before_any_step_is_noop(self):
+        bandit, _ = self.make()
+        bandit.reset_counters(PerformanceCounters(0, 0))
+        assert bandit.flush_step(PerformanceCounters(0, 0)) is None
+
+    def test_flush_is_idempotent(self):
+        bandit, _ = self.make()
+        bandit.reset_counters(PerformanceCounters(0, 0))
+        bandit.begin_step(0.0)
+        assert bandit.flush_step(PerformanceCounters(50, 50)) is not None
+        assert bandit.flush_step(PerformanceCounters(50, 50)) is None
+        assert bandit.steps_completed == 1
+
+    def test_fresh_selection_accepted_after_flush(self):
+        """The agent must be reusable after either flush outcome."""
+        for trailing in (PerformanceCounters(150, 200),   # trained
+                         PerformanceCounters(100, 100)):  # retracted
+            bandit, algorithm = self.make()
+            bandit.reset_counters(PerformanceCounters(0, 0))
+            bandit.begin_step(0.0)
+            bandit.end_step(PerformanceCounters(100, 100))
+            bandit.begin_step(100.0)
+            bandit.flush_step(trailing)
+            arm = algorithm.select_arm()
+            assert 0 <= arm < 3
+            algorithm.observe(1.0)

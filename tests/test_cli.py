@@ -26,6 +26,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["fig99"])
 
+    def test_smt_scale_defaults_match_canonical_config(self):
+        """Regression: the CLI once hardcoded step_epochs_rr=2 instead of
+        the Table 6 default carried by SMTBanditConfig."""
+        from repro.cli import _smt_scale
+        from repro.smt.bandit_control import SMTBanditConfig
+
+        args = build_parser().parse_args(["table09"])
+        scale = _smt_scale(args)
+        canonical = SMTBanditConfig()
+        assert scale.step_epochs == canonical.step_epochs
+        assert scale.step_epochs_rr == canonical.step_epochs_rr
+
+    def test_step_epochs_flags_exposed(self):
+        args = build_parser().parse_args(
+            ["table09", "--step-epochs", "3", "--step-epochs-rr", "5"]
+        )
+        from repro.cli import _smt_scale
+
+        scale = _smt_scale(args)
+        assert scale.step_epochs == 3
+        assert scale.step_epochs_rr == 5
+
+    def test_execution_flags_exposed(self):
+        args = build_parser().parse_args(
+            ["fig08", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -54,3 +84,29 @@ class TestMain:
         files = sorted(tmp_path.glob("*.trace.gz"))
         assert len(files) == 38  # every workload in every suite
         assert len(read_trace(files[0])) == 100
+
+    def test_cache_and_manifest(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        argv = ["fig12", "--trace-length", "1200", "--workloads", "1",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        manifest = json.loads((cache_dir / "fig12.manifest.json").read_text())
+        assert manifest["totals"]["cache_misses"] > 0
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold
+        manifest = json.loads((cache_dir / "fig12.manifest.json").read_text())
+        assert manifest["totals"]["cache_misses"] == 0
+        assert manifest["totals"]["tasks"] == manifest["totals"]["cache_hits"]
+
+    def test_jobs_match_serial_output(self, tmp_path, capsys):
+        base = ["fig12", "--trace-length", "1200", "--workloads", "1",
+                "--no-cache"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+        assert not (tmp_path / ".repro-cache").exists()

@@ -1,11 +1,10 @@
 """Deeper behavioural tests across substrates: writebacks, gating effects,
 mispredict redirects, gap scaling, and step scaling."""
 
-import pytest
 
 from repro.experiments.figures import _scaled_params
 from repro.smt.pg_policy import CHOI_POLICY, PGPolicy
-from repro.smt.pipeline import SMTConfig, SMTPipeline
+from repro.smt.pipeline import SMTPipeline
 from repro.uncore.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.workloads.smt import thread_profile
 from repro.workloads.suites import spec_by_name
@@ -116,7 +115,6 @@ class TestGatingEffects:
             PGPolicy.from_mnemonic("IC_0000"), seed=2,
         )
         pipeline.set_allowances((8.0, 89.0))
-        committed_skewed = None
         pipeline.run(3000)
         committed = pipeline.per_thread_committed()
         # Without gating, a symmetric mix stays roughly balanced even with

@@ -1,0 +1,185 @@
+"""Tests for the parallel experiment runner, result cache, and telemetry."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.configs import PREFETCH_BANDIT_CONFIG
+from repro.experiments.prefetch import best_static_arm
+from repro.experiments.runner import (
+    CACHE_SCHEMA_VERSION,
+    ExecutionContext,
+    ResultCache,
+    RunTelemetry,
+    Task,
+    _canonical,
+    bandit_prefetch_task,
+    fixed_arm_task,
+    get_context,
+    parallel_best_static_arm,
+    run_parallel,
+    task_key,
+    use_context,
+)
+from repro.workloads.suites import spec_by_name
+
+
+def _double(*, value):
+    return value * 2
+
+
+@dataclass(frozen=True)
+class _Cfg:
+    alpha: float = 1.5
+    count: int = 3
+
+
+class TestCacheKey:
+    def test_stable_for_equal_inputs(self):
+        key1 = task_key(_double, {"value": 7})
+        key2 = task_key(_double, {"value": 7})
+        assert key1 == key2
+
+    def test_differs_on_value_function_and_schema(self):
+        base = task_key(_double, {"value": 7})
+        assert task_key(_double, {"value": 8}) != base
+        assert task_key(fixed_arm_task, {"value": 7}) != base
+
+    def test_dataclass_and_dict_canonicalization(self):
+        assert _canonical(_Cfg()) == _canonical(_Cfg(alpha=1.5, count=3))
+        assert _canonical({"b": 1, "a": 2}) == _canonical({"a": 2, "b": 1})
+        assert _canonical(_Cfg(alpha=2.0)) != _canonical(_Cfg())
+
+    def test_rejects_unhashable_inputs(self):
+        with pytest.raises(TypeError):
+            task_key(_double, {"value": object()})
+        with pytest.raises(TypeError):
+            task_key(_double, {"value": {1, 2}})
+
+    def test_stable_across_processes(self):
+        """The key must not depend on interpreter state (e.g. hash seeds)."""
+        code = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.experiments.runner import task_key, fixed_arm_task;"
+            "from repro.experiments.configs import PREFETCH_BANDIT_CONFIG;"
+            "print(task_key(fixed_arm_task,"
+            " dict(spec_name='mcf06', trace_length=1000, arm=2, seed=1,"
+            " params=PREFETCH_BANDIT_CONFIG)))"
+        )
+        repo_root = Path(__file__).resolve().parent.parent
+        keys = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True, cwd=repo_root,
+                env={**os.environ, "PYTHONHASHSEED": str(seed)},
+            ).stdout.strip()
+            for seed in (0, 1)
+        }
+        assert len(keys) == 1
+        assert len(keys.pop()) == 64
+
+
+class TestResultCache:
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, _ = cache.get("ab" * 32)
+        assert not hit
+        cache.put("ab" * 32, {"ipc": 1.25})
+        hit, value = cache.get("ab" * 32)
+        assert hit and value == {"ipc": 1.25}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get(key)
+        assert not hit and value is None
+
+    def test_versioned_directory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.directory.name == f"v{CACHE_SCHEMA_VERSION}"
+
+
+class TestRunParallel:
+    def test_results_in_submission_order(self):
+        tasks = [Task(_double, {"value": v}) for v in range(8)]
+        assert run_parallel(tasks, jobs=1) == [v * 2 for v in range(8)]
+        assert run_parallel(tasks, jobs=4) == [v * 2 for v in range(8)]
+
+    def test_cache_hits_skip_execution(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [Task(_double, {"value": v}, label=f"t{v}") for v in range(4)]
+        cold = RunTelemetry()
+        run_parallel(tasks, jobs=1, cache=cache, telemetry=cold)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 4)
+        warm = RunTelemetry()
+        results = run_parallel(tasks, jobs=1, cache=cache, telemetry=warm)
+        assert results == [v * 2 for v in range(4)]
+        assert (warm.cache_hits, warm.cache_misses) == (4, 0)
+
+    def test_uncacheable_tasks_always_execute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = Task(_double, {"value": 3}, cacheable=False)
+        telemetry = RunTelemetry()
+        run_parallel([task, task], jobs=1, cache=cache, telemetry=telemetry)
+        assert telemetry.cache_misses == 2
+        assert len(cache) == 0
+
+    def test_context_defaults(self, tmp_path):
+        context = ExecutionContext(jobs=1, cache=ResultCache(tmp_path))
+        with use_context(context):
+            assert get_context() is context
+            run_parallel([Task(_double, {"value": 5})])
+        assert context.telemetry.cache_misses == 1
+        assert get_context() is not context
+
+
+class TestTelemetryManifest:
+    def test_manifest_structure(self, tmp_path):
+        telemetry = RunTelemetry()
+        telemetry.record("a", "k1", 0.5, cache_hit=False)
+        telemetry.record("b", "k2", 0.0, cache_hit=True)
+        path = telemetry.write_manifest(tmp_path / "run.manifest.json",
+                                        command="fig08")
+        body = json.loads(path.read_text())
+        assert body["manifest_version"] == 1
+        assert body["cache_schema_version"] == CACHE_SCHEMA_VERSION
+        assert body["command"] == "fig08"
+        assert body["totals"]["tasks"] == 2
+        assert body["totals"]["cache_hits"] == 1
+        assert body["totals"]["cache_misses"] == 1
+        assert [t["label"] for t in body["tasks"]] == ["a", "b"]
+
+
+class TestExperimentTasks:
+    TRACE_LENGTH = 1_500
+
+    def test_parallel_best_static_arm_matches_serial(self):
+        trace = spec_by_name("mcf06").trace(self.TRACE_LENGTH, seed=0)
+        expected = best_static_arm(trace)
+        with use_context(ExecutionContext(jobs=1)):
+            serial = parallel_best_static_arm("mcf06", self.TRACE_LENGTH)
+        with use_context(ExecutionContext(jobs=4)):
+            parallel = parallel_best_static_arm("mcf06", self.TRACE_LENGTH)
+        assert serial == expected
+        assert parallel == expected
+
+    def test_bandit_task_algorithm_lineup(self):
+        result = bandit_prefetch_task(
+            spec_name="mcf06", trace_length=self.TRACE_LENGTH,
+            params=PREFETCH_BANDIT_CONFIG, seed=0,
+            algorithm_name="Single",
+        )
+        # Single commits to one arm once the round-robin sweep is over.
+        num_arms = PREFETCH_BANDIT_CONFIG.num_arms
+        tail = result.arm_history[num_arms:]
+        assert len(set(tail)) <= 1
+        assert result.ipc > 0

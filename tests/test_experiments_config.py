@@ -1,6 +1,5 @@
 """Tests for the experiment configuration tables (Tables 4/5/6/7)."""
 
-import pytest
 
 from repro.experiments.configs import (
     ALT_HIERARCHY_CONFIG,

@@ -50,6 +50,40 @@ class TestMakePrefetcher:
             make_prefetcher("magic")
 
 
+class TestBandwidthProbe:
+    class _FakeDram:
+        cycles_per_line = 10.0
+
+        def __init__(self, delay):
+            self._delay = delay
+
+        def average_queue_delay(self):
+            return self._delay
+
+    class _FakeHierarchy:
+        def __init__(self, dram):
+            self.dram = dram
+
+    def probe(self, delay):
+        from repro.experiments.prefetch import _make_bandwidth_probe
+
+        holder = [self._FakeHierarchy(self._FakeDram(delay))]
+        return _make_bandwidth_probe(holder)
+
+    def test_high_usage_above_four_line_times(self):
+        assert self.probe(41.0)() == 1.0
+
+    def test_low_usage_at_or_below_threshold(self):
+        assert self.probe(40.0)() == 0.0
+        assert self.probe(0.0)() == 0.0
+
+    def test_empty_holder_reads_low(self):
+        from repro.experiments.prefetch import _make_bandwidth_probe
+
+        assert _make_bandwidth_probe([])() == 0.0
+        assert _make_bandwidth_probe(None)() == 0.0
+
+
 class TestSingleCoreRunners:
     def test_fixed_prefetcher_result(self):
         result = run_fixed_prefetcher(TRACE, "stride")

@@ -10,13 +10,10 @@ from dataclasses import replace
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.bandit.base import BanditConfig
-from repro.bandit.ducb import DUCB
 from repro.experiments.configs import PREFETCH_BANDIT_CONFIG
 from repro.experiments.prefetch import (
     best_static_arm,
     run_bandit_prefetch,
-    run_fixed_arm,
 )
 from repro.workloads.suites import spec_by_name
 

@@ -27,6 +27,22 @@ class TestFormatTable:
         header, rule, row = text.splitlines()
         assert len(rule) >= len("averyverylongvalue")
 
+    def test_short_rows_padded(self):
+        text = format_table(["a", "b", "c"], [["x"], ["y", "z"]])
+        lines = text.splitlines()
+        assert lines[2].rstrip() == "x"
+        assert "z" in lines[3]
+        # Every rendered row aligns with the full header width.
+        assert all(len(line) <= len(lines[1]) for line in lines[2:])
+
+    def test_long_rows_rejected(self):
+        with pytest.raises(ValueError, match="4 cells"):
+            format_table(["a", "b", "c"], [["1", "2", "3", "4"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [[], ["x", "y"]])
+        assert "x" in text
+
 
 class TestSummaryTable:
     def test_rows_and_columns(self):

@@ -5,7 +5,7 @@ import pytest
 from repro.smt.pg_policy import CHOI_POLICY, ICOUNT_POLICY, PGPolicy
 from repro.smt.pipeline import SMTConfig, SMTPipeline
 from repro.smt.uop import KIND_LOAD, KIND_STORE, REG_WRITING_KINDS, uop_stream
-from repro.workloads.smt import ThreadProfile, thread_profile
+from repro.workloads.smt import thread_profile
 
 
 GCC = thread_profile("gcc")

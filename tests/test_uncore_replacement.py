@@ -71,7 +71,6 @@ class TestSRRIP:
 
     def test_aging_finds_victim(self):
         policy = SRRIP(max_rrpv=3)
-        candidates = {}
         cache = make_cache(policy)
         cache.insert(0)
         cache.lookup(0)

@@ -15,7 +15,6 @@ from repro.workloads.generators import (
     stream_trace,
     strided_trace,
 )
-from repro.workloads.trace import BLOCK_SHIFT
 
 
 PARAMS = GeneratorParams(length=2000, seed=11, gap_mean=2.0)
