@@ -1,0 +1,44 @@
+"""Fidelity & determinism static analysis for the reproduction.
+
+A custom AST-based linter with repo-specific rules that check, *before any
+simulation runs*, the invariants the runtime test suite can only exercise:
+
+- **R1 determinism** — no ambient RNG (module-level ``random.*`` /
+  ``np.random.*`` calls, unseeded ``random.Random()``), no wall-clock reads
+  (``time.time()``, ``datetime.now()``), no salted ``hash()`` seeding, and
+  no iteration over set expressions (unordered across ``PYTHONHASHSEED``).
+- **R2 paper-constant provenance** — Table 6/7 values bound to their
+  parameter names in ``repro/bandit``, ``repro/smt`` and
+  ``repro/experiments`` must come from :mod:`repro.constants`, never be
+  re-typed inline.
+- **R3 pickle safety** — task functions handed to the parallel runner
+  (``Task(...)`` / ``run_parallel``) must be module-level functions;
+  lambdas, closures and locally defined functions fail inside a worker
+  only once ``--jobs > 1``.
+- **R4 step hygiene** — a replay loop that calls ``observe()`` /
+  ``end_step()`` must also reach ``flush_step()`` or ``cancel_selection()``
+  so the trailing partial bandit step is never silently dropped (the PR 1
+  bug class).
+- **R5 float equality** — ``==``/``!=`` against float literals.
+- **R6 mutable default arguments**.
+
+Findings can be suppressed per line with ``# repro: ignore`` or
+``# repro: ignore[R1,R4]``, or burned down incrementally through a checked
+in baseline file (``--baseline``).
+
+Run it as ``python -m repro.analysis src/``.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.core import Finding, ParsedModule, run_analysis
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "load_baseline",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,66 @@
+"""Baseline file support: burn pre-existing findings down incrementally.
+
+A baseline is a JSON document listing the :meth:`Finding.key` of every
+accepted finding. ``python -m repro.analysis --baseline FILE`` subtracts
+baselined findings from the exit status (they are still counted in the
+summary), and ``--write-baseline`` records the current findings so a new
+rule can land without blocking CI on perfection.
+
+Keys are content-based (rule, file, offending line text), so unrelated
+edits do not invalidate a baseline, while any change to a baselined line
+resurfaces its finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Read the accepted finding keys; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "entries" not in document:
+        raise ValueError(
+            f"baseline {path} is not a {{version, entries}} document"
+        )
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; "
+            f"this tool writes version {BASELINE_VERSION}"
+        )
+    entries = document["entries"]
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} entries must be a list")
+    return set(entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the accepted baseline (sorted, stable)."""
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": sorted({finding.key() for finding in findings}),
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], accepted: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if finding.key() in accepted:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

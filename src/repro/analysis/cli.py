@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Collects every finding in one pass, prints them with a per-rule summary
+table (via :func:`repro.experiments.reporting.format_table`, the same
+renderer the experiment tables use), and exits non-zero only when there
+are findings not covered by the baseline — so CI output is actionable in
+a single run instead of dying on the first hit.
+
+Exit codes: 0 clean (or fully baselined), 1 new findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.analysis.core import Finding, run_analysis
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Fidelity & determinism static analysis (rules R1-R6).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="JSON baseline of accepted findings; new findings still fail",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (e.g. R1,R4); default: all",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(),
+        help="paths in output/baseline keys are relative to this directory",
+    )
+    return parser
+
+
+def _select_rules(selection: Optional[str]) -> Sequence[Rule]:
+    if selection is None:
+        return ALL_RULES
+    rules: List[Rule] = []
+    for code in selection.split(","):
+        code = code.strip().upper()
+        if code not in RULES_BY_CODE:
+            known = ", ".join(sorted(RULES_BY_CODE))
+            raise SystemExit(
+                f"error: unknown rule {code!r} (known: {known})"
+            )
+        rules.append(RULES_BY_CODE[code])
+    return rules
+
+
+def summarize(
+    rules: Sequence[Rule],
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    """Per-rule summary table rendered like the experiment tables."""
+    from repro.experiments.reporting import format_table
+
+    counts: Dict[str, Tuple[int, int]] = {}
+    for rule in rules:
+        counts[rule.code] = (0, 0)
+    for finding in new:
+        first, second = counts.get(finding.rule, (0, 0))
+        counts[finding.rule] = (first + 1, second)
+    for finding in baselined:
+        first, second = counts.get(finding.rule, (0, 0))
+        counts[finding.rule] = (first, second + 1)
+    rows = [
+        (
+            rule.code,
+            rule.name,
+            counts[rule.code][0],
+            counts[rule.code][1],
+        )
+        for rule in rules
+    ]
+    rows.append(("total", "", len(new), len(baselined)))
+    return format_table(
+        ["rule", "name", "new", "baselined"], rows,
+        title="repro.analysis summary",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<18} {rule.description}")
+        return 0
+
+    if args.write_baseline and args.baseline is None:
+        parser.error("--write-baseline requires --baseline FILE")
+
+    rules = _select_rules(args.select)
+    paths = [Path(p) for p in args.paths]
+    try:
+        findings = run_analysis(paths, rules=rules, root=args.root)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}"
+        )
+        return 0
+
+    accepted = load_baseline(args.baseline) if args.baseline else set()
+    new, baselined = split_by_baseline(findings, accepted)
+
+    for finding in new:
+        print(finding.format())
+    print(summarize(rules, new, baselined))
+    if new:
+        print(
+            f"{len(new)} new finding(s); fix them, suppress with "
+            "`# repro: ignore[CODE]`, or record them with --write-baseline",
+        )
+        return 1
+    return 0

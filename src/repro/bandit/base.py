@@ -29,6 +29,12 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.constants import (
+    EPSILON_GREEDY_EPSILON,
+    PREFETCH_EXPLORATION_C,
+    PREFETCH_GAMMA,
+)
+
 
 @dataclass(frozen=True)
 class BanditConfig:
@@ -37,12 +43,13 @@ class BanditConfig:
     Only the fields an algorithm uses are read by it: ``epsilon`` by
     ε-Greedy, ``exploration_c`` by UCB/DUCB, ``gamma`` by DUCB, and
     ``rr_restart_prob`` by all (Table 6 sets it only for 4-core runs).
+    Defaults are the Table 6 prefetching column (see :mod:`repro.constants`).
     """
 
     num_arms: int
-    epsilon: float = 0.1
-    exploration_c: float = 0.04
-    gamma: float = 0.999
+    epsilon: float = EPSILON_GREEDY_EPSILON
+    exploration_c: float = PREFETCH_EXPLORATION_C
+    gamma: float = PREFETCH_GAMMA
     rr_restart_prob: float = 0.0
     normalize_rewards: bool = True
     seed: int = 0

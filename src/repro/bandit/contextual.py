@@ -21,6 +21,35 @@ from typing import Callable, Hashable, List, Optional
 
 from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
+from repro.constants import PREFETCH_EXPLORATION_C
+from repro.util.rng import derive_seed
+
+#: Context horizons are short (per-phase learners), so the default factory
+#: uses a shrunk DUCB horizon rather than Table 6's γ.
+_CONTEXT_GAMMA = 0.98
+
+
+def _default_context_factory(
+    num_arms: int, base_seed: int = 0
+) -> Callable[[Hashable], MABAlgorithm]:
+    """Per-context DUCB factory with seeds derived from the context label.
+
+    Seeds go through :func:`repro.util.rng.derive_seed` (a keyed BLAKE2
+    digest) — never through builtin ``hash()``, whose salt changes per
+    process and would silently decorrelate replays.
+    """
+
+    def build(context: Hashable) -> MABAlgorithm:
+        return DUCB(
+            BanditConfig(
+                num_arms=num_arms,
+                gamma=_CONTEXT_GAMMA,
+                exploration_c=PREFETCH_EXPLORATION_C,
+                seed=derive_seed(base_seed, "contextual", context),
+            )
+        )
+
+    return build
 
 
 class ContextualBandit:
@@ -44,11 +73,7 @@ class ContextualBandit:
             raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
         self.num_arms = num_arms
         if algorithm_factory is None:
-            algorithm_factory = lambda context: DUCB(  # noqa: E731
-                BanditConfig(num_arms=num_arms, gamma=0.98,
-                             exploration_c=0.04,
-                             seed=hash(context) & 0xFFFF)
-            )
+            algorithm_factory = _default_context_factory(num_arms)
         self._factory = algorithm_factory
         self.max_contexts = max_contexts
         self._learners: "OrderedDict[Hashable, MABAlgorithm]" = OrderedDict()
@@ -133,7 +158,7 @@ class AccessPatternClassifier:
         self._votes[label] += 1
         self._count += 1
         if self._count >= self.window:
-            self.current_class = max(self._votes, key=self._votes.get)
+            self.current_class = max(self._votes, key=self._votes.__getitem__)
             self._votes = {"stream": 0, "stride": 0, "irregular": 0}
             self._count = 0
         return self.current_class
@@ -157,11 +182,7 @@ class ClassifierBandit:
         self.classifier = classifier or AccessPatternClassifier()
         self.contextual = ContextualBandit(
             num_arms,
-            algorithm_factory=lambda context: DUCB(
-                BanditConfig(num_arms=num_arms, gamma=0.98,
-                             exploration_c=0.04,
-                             seed=seed + hash(context) % 997)
-            ),
+            algorithm_factory=_default_context_factory(num_arms, seed),
             max_contexts=len(AccessPatternClassifier.CLASSES),
         )
         self.num_arms = num_arms

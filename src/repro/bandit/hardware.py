@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.bandit.base import MABAlgorithm
 from repro.bandit.rewards import IPCReward, PerformanceCounters
+from repro.constants import SELECTION_LATENCY_CYCLES
 
 #: Storage per arm: one single-precision float reward (rTable) plus one
 #: unsigned-int selection count (nTable) — 8 bytes total (§5.4).
@@ -90,7 +91,7 @@ class MicroArmedBandit:
     def __init__(
         self,
         algorithm: MABAlgorithm,
-        selection_latency_cycles: int = 500,
+        selection_latency_cycles: int = SELECTION_LATENCY_CYCLES,
     ) -> None:
         self.algorithm = algorithm
         self.selection_latency_cycles = selection_latency_cycles

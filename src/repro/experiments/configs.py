@@ -21,6 +21,23 @@ from typing import Dict
 
 from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
+from repro.constants import (
+    EPSILON_GREEDY_EPSILON,
+    HILL_CLIMBING_DELTA_IQ_ENTRIES,
+    HILL_CLIMBING_EPOCH_CYCLES,
+    NUM_STREAM_TRACKERS,
+    NUM_STRIDE_TRACKERS,
+    PREFETCH_EXPLORATION_C,
+    PREFETCH_GAMMA,
+    PREFETCH_STEP_L2_ACCESSES,
+    RR_RESTART_PROB_MULTICORE,
+    SELECTION_LATENCY_CYCLES,
+    SMT_EXPLORATION_C,
+    SMT_GAMMA,
+    SMT_NUM_ARMS,
+    SMT_STEP_EPOCHS,
+    SMT_STEP_EPOCHS_RR,
+)
 from repro.core_model.trace_core import CoreConfig
 from repro.prefetch.ensemble import TABLE7_ARMS
 from repro.smt.hill_climbing import HillClimbingConfig
@@ -75,14 +92,14 @@ PREFETCH_ARMS = TABLE7_ARMS
 class PrefetchBanditParams:
     """Table 6, data-prefetching column."""
 
-    gamma: float = 0.999
-    exploration_c: float = 0.04
+    gamma: float = PREFETCH_GAMMA
+    exploration_c: float = PREFETCH_EXPLORATION_C
     num_arms: int = len(TABLE7_ARMS)
-    step_l2_accesses: int = 1000
-    num_stream_trackers: int = 64
-    num_stride_trackers: int = 64
-    rr_restart_prob_multicore: float = 0.001
-    selection_latency_cycles: int = 500
+    step_l2_accesses: int = PREFETCH_STEP_L2_ACCESSES
+    num_stream_trackers: int = NUM_STREAM_TRACKERS
+    num_stride_trackers: int = NUM_STRIDE_TRACKERS
+    rr_restart_prob_multicore: float = RR_RESTART_PROB_MULTICORE
+    selection_latency_cycles: int = SELECTION_LATENCY_CYCLES
 
 
 PREFETCH_BANDIT_CONFIG = PrefetchBanditParams()
@@ -107,9 +124,9 @@ def prefetch_bandit_algorithm(
 
 def table8_algorithm_lineup(
     seed: int = 0,
-    gamma: float = 0.999,
+    gamma: float = PREFETCH_GAMMA,
     num_arms: int = len(TABLE7_ARMS),
-    exploration_c: float = 0.04,
+    exploration_c: float = PREFETCH_EXPLORATION_C,
 ) -> Dict[str, MABAlgorithm]:
     """The §7.1 algorithm lineup of Table 8, keyed by its row labels.
 
@@ -127,7 +144,8 @@ def table8_algorithm_lineup(
             period=40, buffer_length=4,
         ),
         "eGreedy": EpsilonGreedy(
-            BanditConfig(num_arms=num_arms, epsilon=0.1, seed=seed)
+            BanditConfig(num_arms=num_arms, epsilon=EPSILON_GREEDY_EPSILON,
+                         seed=seed)
         ),
         "UCB": UCB(
             BanditConfig(num_arms=num_arms, exploration_c=exploration_c,
@@ -144,13 +162,13 @@ def table8_algorithm_lineup(
 class SMTBanditParams:
     """Table 6, SMT column (epoch length scaled; see module docstring)."""
 
-    gamma: float = 0.975
-    exploration_c: float = 0.01
-    num_arms: int = 6
-    step_epochs: int = 2
-    step_epochs_rr: int = 32
-    epoch_cycles: int = 64_000
-    delta_iq_entries: float = 2.0
+    gamma: float = SMT_GAMMA
+    exploration_c: float = SMT_EXPLORATION_C
+    num_arms: int = SMT_NUM_ARMS
+    step_epochs: int = SMT_STEP_EPOCHS
+    step_epochs_rr: int = SMT_STEP_EPOCHS_RR
+    epoch_cycles: int = HILL_CLIMBING_EPOCH_CYCLES
+    delta_iq_entries: float = HILL_CLIMBING_DELTA_IQ_ENTRIES
 
 
 SMT_BANDIT_TABLE6 = SMTBanditParams()

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
 from repro.bandit.hardware import MicroArmedBandit
+from repro.constants import PREFETCH_EXPLORATION_C
 from repro.core_model.trace_core import TraceCore
 from repro.experiments.configs import (
     BASELINE_HIERARCHY_CONFIG,
@@ -81,7 +82,8 @@ def run_joint_l1_l2_bandit(
     arms = joint_arm_space()
     if algorithm is None:
         algorithm = DUCB(BanditConfig(
-            num_arms=len(arms), gamma=0.98, exploration_c=0.04, seed=seed
+            num_arms=len(arms), gamma=0.98,
+            exploration_c=PREFETCH_EXPLORATION_C, seed=seed
         ))
     if algorithm.num_arms != len(arms):
         raise ValueError("algorithm arm count must match the joint space")
@@ -156,7 +158,8 @@ def run_joint_prefetch_replacement_bandit(
     """One Bandit selecting (L2 ensemble arm, L2 replacement policy)."""
     arms = prefetch_replacement_arm_space()
     algorithm = DUCB(BanditConfig(
-        num_arms=len(arms), gamma=0.98, exploration_c=0.04, seed=seed
+        num_arms=len(arms), gamma=0.98,
+        exploration_c=PREFETCH_EXPLORATION_C, seed=seed
     ))
     ensemble = EnsemblePrefetcher()
     hierarchy = CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble)

@@ -19,6 +19,12 @@ from repro.bandit.ducb import DUCB
 from repro.bandit.epsilon_greedy import EpsilonGreedy
 from repro.bandit.heuristics import Periodic, Single
 from repro.bandit.ucb import UCB
+from repro.constants import (
+    EPSILON_GREEDY_EPSILON,
+    PREFETCH_EXPLORATION_C,
+    SMT_EXPLORATION_C,
+    SMT_GAMMA,
+)
 from repro.experiments.configs import (
     ALT_HIERARCHY_CONFIG,
     BASELINE_HIERARCHY_CONFIG,
@@ -246,12 +252,15 @@ def _smt_algorithms(seed: int) -> Dict[str, MABAlgorithm]:
             BanditConfig(num_arms=arms, seed=seed), period=20, buffer_length=4
         ),
         "eGreedy": EpsilonGreedy(
-            BanditConfig(num_arms=arms, epsilon=0.1, seed=seed)
+            BanditConfig(num_arms=arms, epsilon=EPSILON_GREEDY_EPSILON,
+                         seed=seed)
         ),
-        "UCB": UCB(BanditConfig(num_arms=arms, exploration_c=0.01, seed=seed)),
+        "UCB": UCB(BanditConfig(num_arms=arms,
+                                exploration_c=SMT_EXPLORATION_C, seed=seed)),
         "DUCB": DUCB(
             BanditConfig(
-                num_arms=arms, gamma=0.975, exploration_c=0.01, seed=seed
+                num_arms=arms, gamma=SMT_GAMMA,
+                exploration_c=SMT_EXPLORATION_C, seed=seed
             )
         ),
     }
@@ -309,9 +318,12 @@ def fig07_exploration_traces(
         }
         for alg_name, algorithm in (
             ("Single", Single(BanditConfig(num_arms=arms, seed=seed))),
-            ("UCB", UCB(BanditConfig(num_arms=arms, exploration_c=0.04, seed=seed))),
+            ("UCB", UCB(BanditConfig(num_arms=arms,
+                                     exploration_c=PREFETCH_EXPLORATION_C,
+                                     seed=seed))),
             ("DUCB", DUCB(BanditConfig(num_arms=arms, gamma=SCALED_GAMMA,
-                                       exploration_c=0.04, seed=seed))),
+                                       exploration_c=PREFETCH_EXPLORATION_C,
+                                       seed=seed))),
         ):
             result = run_bandit_prefetch(
                 trace, algorithm=algorithm, params=params, seed=seed
@@ -328,10 +340,12 @@ def fig07_exploration_traces(
         }
         for alg_name, algorithm in (
             ("Single", Single(BanditConfig(num_arms=smt_arms, seed=seed))),
-            ("UCB", UCB(BanditConfig(num_arms=smt_arms, exploration_c=0.01,
+            ("UCB", UCB(BanditConfig(num_arms=smt_arms,
+                                     exploration_c=SMT_EXPLORATION_C,
                                      seed=seed))),
-            ("DUCB", DUCB(BanditConfig(num_arms=smt_arms, gamma=0.975,
-                                       exploration_c=0.01, seed=seed))),
+            ("DUCB", DUCB(BanditConfig(num_arms=smt_arms, gamma=SMT_GAMMA,
+                                       exploration_c=SMT_EXPLORATION_C,
+                                       seed=seed))),
         ):
             result = run_smt_bandit(mix, scale, algorithm=algorithm, seed=seed)
             scenario[alg_name] = {"ipc": result.ipc, "arms": result.arm_history}

@@ -52,6 +52,7 @@ from typing import (
     Tuple,
 )
 
+from repro.constants import PREFETCH_GAMMA
 from repro.core_model.trace_core import CoreConfig
 from repro.experiments.configs import (
     BASELINE_HIERARCHY_CONFIG,
@@ -454,7 +455,7 @@ def bandit_prefetch_task(
     hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
     algorithm_name: Optional[str] = None,
-    algorithm_gamma: float = 0.999,
+    algorithm_gamma: float = PREFETCH_GAMMA,
     ideal_latency: bool = False,
     l1_kind: Optional[str] = None,
 ) -> PrefetchRunResult:
@@ -609,5 +610,5 @@ def parallel_best_static_arm(
     results = run_parallel(tasks)
     per_arm = {task.kwargs["arm"]: result.ipc
                for task, result in zip(tasks, results)}
-    best = max(per_arm, key=per_arm.get)
+    best = max(per_arm, key=per_arm.__getitem__)
     return best, per_arm

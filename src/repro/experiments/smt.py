@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bandit.base import MABAlgorithm
+from repro.constants import SMT_STEP_EPOCHS
 from repro.experiments.configs import SMT_CONFIG_TABLE5, scaled_hill_climbing
 from repro.smt.bandit_control import (
     BanditFetchController,
@@ -47,7 +48,7 @@ class SMTScale:
 
     epoch_cycles: int = 500
     total_epochs: int = 400
-    step_epochs: int = 2
+    step_epochs: int = SMT_STEP_EPOCHS
     step_epochs_rr: int = 2
 
 

@@ -15,6 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.constants import (
+    NUM_STREAM_TRACKERS,
+    NUM_STRIDE_TRACKERS,
+    TABLE7_ARM_TABLE,
+)
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.next_line import NextLinePrefetcher
 from repro.prefetch.stream import StreamPrefetcher
@@ -40,19 +45,12 @@ class ArmSpec:
         )
 
 
-#: The 11 arms of Table 7, in arm-id order.
-TABLE7_ARMS: Tuple[ArmSpec, ...] = (
-    ArmSpec(next_line=False, stride_degree=0, stream_degree=4),   # 0
-    ArmSpec(next_line=False, stride_degree=0, stream_degree=0),   # 1 (all off)
-    ArmSpec(next_line=True, stride_degree=0, stream_degree=0),    # 2
-    ArmSpec(next_line=False, stride_degree=0, stream_degree=2),   # 3
-    ArmSpec(next_line=False, stride_degree=2, stream_degree=2),   # 4
-    ArmSpec(next_line=False, stride_degree=4, stream_degree=4),   # 5
-    ArmSpec(next_line=False, stride_degree=0, stream_degree=6),   # 6
-    ArmSpec(next_line=False, stride_degree=8, stream_degree=6),   # 7
-    ArmSpec(next_line=True, stride_degree=0, stream_degree=8),    # 8
-    ArmSpec(next_line=False, stride_degree=0, stream_degree=15),  # 9
-    ArmSpec(next_line=False, stride_degree=15, stream_degree=15),  # 10
+#: The 11 arms of Table 7, in arm-id order. The raw (next_line,
+#: stride_degree, stream_degree) rows live in :data:`repro.constants.
+#: TABLE7_ARM_TABLE` so the paper numbers have a single home.
+TABLE7_ARMS: Tuple[ArmSpec, ...] = tuple(
+    ArmSpec(next_line=nl, stride_degree=stride, stream_degree=stream)
+    for nl, stride, stream in TABLE7_ARM_TABLE
 )
 
 
@@ -64,8 +62,8 @@ class EnsemblePrefetcher(Prefetcher):
     def __init__(
         self,
         arms: Sequence[ArmSpec] = TABLE7_ARMS,
-        num_stride_trackers: int = 64,
-        num_stream_trackers: int = 64,
+        num_stride_trackers: int = NUM_STRIDE_TRACKERS,
+        num_stream_trackers: int = NUM_STREAM_TRACKERS,
     ) -> None:
         if not arms:
             raise ValueError("ensemble requires at least one arm")

@@ -17,6 +17,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
+from repro.constants import (
+    SMT_EXPLORATION_C,
+    SMT_GAMMA,
+    SMT_STEP_EPOCHS,
+    SMT_STEP_EPOCHS_RR,
+)
 from repro.smt.hill_climbing import HillClimbing, HillClimbingConfig
 from repro.smt.pg_policy import BANDIT_PG_ARMS, PGPolicy
 from repro.smt.pipeline import SMTPipeline
@@ -26,10 +32,10 @@ from repro.smt.pipeline import SMTPipeline
 class SMTBanditConfig:
     """Table 6 (SMT column): DUCB with γ=0.975, c=0.01, 6 arms."""
 
-    gamma: float = 0.975
-    exploration_c: float = 0.01
-    step_epochs: int = 2
-    step_epochs_rr: int = 32
+    gamma: float = SMT_GAMMA
+    exploration_c: float = SMT_EXPLORATION_C
+    step_epochs: int = SMT_STEP_EPOCHS
+    step_epochs_rr: int = SMT_STEP_EPOCHS_RR
     hill_climbing: HillClimbingConfig = field(default_factory=HillClimbingConfig)
     seed: int = 0
 

@@ -17,6 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.constants import (
+    HILL_CLIMBING_DELTA_IQ_ENTRIES,
+    HILL_CLIMBING_EPOCH_CYCLES,
+)
+
 
 @dataclass(frozen=True)
 class HillClimbingConfig:
@@ -27,8 +32,8 @@ class HillClimbingConfig:
     """
 
     iq_size: int = 97
-    delta: float = 2.0
-    epoch_cycles: int = 64_000
+    delta: float = HILL_CLIMBING_DELTA_IQ_ENTRIES
+    epoch_cycles: int = HILL_CLIMBING_EPOCH_CYCLES
     min_allowance: float = 8.0
 
     def __post_init__(self) -> None:

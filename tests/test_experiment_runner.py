@@ -61,6 +61,16 @@ class TestCacheKey:
         with pytest.raises(TypeError):
             task_key(_double, {"value": {1, 2}})
 
+    def test_rejects_non_picklable_kwargs(self):
+        """Callables and closures cannot cross the worker boundary, so the
+        key function must refuse them instead of hashing their repr."""
+        with pytest.raises(TypeError):
+            task_key(_double, {"value": lambda: 1})
+        with pytest.raises(TypeError):
+            task_key(_double, {"value": _double})
+        with pytest.raises(TypeError):
+            task_key(_double, {"value": [1, (2, lambda: 3)]})
+
     def test_stable_across_processes(self):
         """The key must not depend on interpreter state (e.g. hash seeds)."""
         code = (
