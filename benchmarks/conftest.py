@@ -18,10 +18,16 @@ process pool. Both default to the deterministic serial behaviour.
 """
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.runner import ExecutionContext, ResultCache, use_context
+from repro.workloads.compiled import (
+    TRACE_CACHE_ENV,
+    TraceStore,
+    use_trace_store,
+)
 
 
 def bench_scale() -> float:
@@ -40,8 +46,21 @@ def experiment_context(tmp_path_factory):
         cache_dir = tmp_path_factory.mktemp("repro-cache")
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
     context = ExecutionContext(jobs=jobs, cache=ResultCache(cache_dir))
-    with use_context(context):
-        yield context
+    # Compiled traces are memoized on disk next to the result cache, so
+    # repeated benchmark invocations skip workload generation entirely. The
+    # environment variable makes pool workers pick the same directory up.
+    trace_dir = Path(cache_dir) / "traces"
+    previous_env = os.environ.get(TRACE_CACHE_ENV)
+    os.environ[TRACE_CACHE_ENV] = str(trace_dir)
+    store = TraceStore(trace_dir)
+    try:
+        with use_trace_store(store), use_context(context):
+            yield context
+    finally:
+        if previous_env is None:
+            os.environ.pop(TRACE_CACHE_ENV, None)
+        else:
+            os.environ[TRACE_CACHE_ENV] = previous_env
 
 
 @pytest.fixture

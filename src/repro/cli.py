@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict
@@ -33,6 +34,7 @@ from repro.experiments.reporting import format_summary_table, format_table
 from repro.experiments.runner import ExecutionContext, ResultCache, use_context
 from repro.experiments.smt import SMTScale
 from repro.smt.bandit_control import SMTBanditConfig
+from repro.workloads.compiled import TRACE_CACHE_ENV, set_trace_store
 from repro.workloads.suites import tune_specs
 
 #: Default result-cache location (content-keyed; safe to delete any time).
@@ -244,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on-disk result cache directory")
         cmd.add_argument("--no-cache", action="store_true",
                          help="disable the result cache")
+        cmd.add_argument("--profile", action="store_true",
+                         help="run under cProfile; writes <cache-dir>/"
+                              "profiles/<command>.prof and a JSON summary")
         if name == "traces":
             cmd.add_argument("--output-dir", default="traces",
                              help="directory to write .trace.gz files into")
@@ -259,9 +264,24 @@ def main(argv=None) -> int:
             print(f"  {name}")
         return 0
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None and not os.environ.get(TRACE_CACHE_ENV):
+        # Share compiled traces on disk alongside the result cache (workers
+        # inherit the setting through the environment).
+        os.environ[TRACE_CACHE_ENV] = str(Path(args.cache_dir) / "traces")
+        set_trace_store(None)  # re-read the environment
     context = ExecutionContext(jobs=args.jobs, cache=cache)
     with use_context(context):
-        COMMANDS[args.command](args)
+        if args.profile:
+            from repro.perf import profile_call
+
+            stem = Path(args.cache_dir) / "profiles" / args.command
+            _, summary_path = profile_call(
+                lambda: COMMANDS[args.command](args),
+                stem, label=args.command,
+            )
+            print(f"[profile] summary: {summary_path}", file=sys.stderr)
+        else:
+            COMMANDS[args.command](args)
     telemetry = context.telemetry
     print(telemetry.summary_line(args.command, jobs=args.jobs),
           file=sys.stderr)

@@ -18,7 +18,7 @@ hierarchy with a chosen prefetcher configuration:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bandit.base import MABAlgorithm
 from repro.bandit.hardware import MicroArmedBandit
@@ -40,7 +40,12 @@ from repro.prefetch.ipcp import IPCPPrefetcher
 from repro.prefetch.mlop import MLOPPrefetcher
 from repro.prefetch.pythia import PythiaPrefetcher
 from repro.uncore.hierarchy import CacheHierarchy, HierarchyConfig, HierarchyStats
+from repro.workloads.compiled import CompiledTrace
 from repro.workloads.trace import TraceRecord
+
+#: Runners accept either representation; compiled traces replay through the
+#: allocation-free kernel, object traces through the compatibility path.
+TraceInput = Union[Sequence[TraceRecord], CompiledTrace]
 
 
 @dataclass
@@ -54,6 +59,16 @@ class PrefetchRunResult:
     arm_history: List[int] = field(default_factory=list)
     #: (cycle, arm) samples for exploration plots (Figure 7).
     arm_trace: List[Tuple[float, int]] = field(default_factory=list)
+    #: Trace records replayed (throughput denominator for telemetry).
+    records: int = 0
+
+
+def _replay(core: TraceCore, trace: TraceInput) -> None:
+    """Replay ``trace`` on ``core`` via the fastest applicable kernel."""
+    if isinstance(trace, CompiledTrace):
+        core.run_compiled(trace)
+    else:
+        core.run(trace)
 
 
 def make_prefetcher(
@@ -95,7 +110,7 @@ def _make_bandwidth_probe(hierarchy_holder: Optional[list]) -> Callable[[], floa
 
 
 def run_fixed_prefetcher(
-    trace: Sequence[TraceRecord],
+    trace: TraceInput,
     prefetcher_name: str = "none",
     hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
@@ -109,18 +124,19 @@ def run_fixed_prefetcher(
     )
     holder.append(hierarchy)
     core = TraceCore(hierarchy, core_config)
-    core.run(trace)
+    _replay(core, trace)
     hierarchy.finalize()
     return PrefetchRunResult(
         ipc=core.ipc,
         instructions=core.instructions,
         cycles=core.cycles,
         stats=hierarchy.stats,
+        records=len(trace),
     )
 
 
 def run_fixed_arm(
-    trace: Sequence[TraceRecord],
+    trace: TraceInput,
     arm: int,
     hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
@@ -130,7 +146,7 @@ def run_fixed_arm(
     ensemble.set_arm(arm)
     hierarchy = CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble)
     core = TraceCore(hierarchy, core_config)
-    core.run(trace)
+    _replay(core, trace)
     hierarchy.finalize()
     return PrefetchRunResult(
         ipc=core.ipc,
@@ -138,11 +154,12 @@ def run_fixed_arm(
         cycles=core.cycles,
         stats=hierarchy.stats,
         arm_history=[arm],
+        records=len(trace),
     )
 
 
 def best_static_arm(
-    trace: Sequence[TraceRecord],
+    trace: TraceInput,
     hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
     num_arms: Optional[int] = None,
@@ -157,7 +174,7 @@ def best_static_arm(
 
 
 def run_bandit_prefetch(
-    trace: Sequence[TraceRecord],
+    trace: TraceInput,
     algorithm: Optional[MABAlgorithm] = None,
     hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
@@ -193,19 +210,53 @@ def run_bandit_prefetch(
     next_boundary = params.step_l2_accesses
     stats = hierarchy.stats
 
-    for record in trace:
-        core.execute(record)
-        if pending_arm != applied_arm and core.retire_time >= bandit.selection_ready_cycle:
-            ensemble.set_arm(pending_arm)
-            applied_arm = pending_arm
-        if stats.l2_demand_accesses >= next_boundary:
-            next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
-            bandit.end_step(core.counters())
-            pending_arm = bandit.begin_step(core.retire_time)
-            arm_trace.append((core.retire_time, pending_arm))
-            if ideal_latency:
+    if isinstance(trace, CompiledTrace):
+        # Compiled replay: the same per-record bandit logic as the object
+        # loop below, fired from the kernel's record hook. The hook returns
+        # the next (L2-access, retire-cycle) thresholds at which it can act
+        # — the step boundary and the pending arm's selection-ready cycle —
+        # so the kernel skips the state flush + call for every record in
+        # between (both quantities are monotone, and only the hook itself
+        # moves the thresholds).
+        step_accesses = params.step_l2_accesses
+        infinity = float("inf")
+
+        def bandit_hook(hook_core: TraceCore) -> Tuple[int, float]:
+            nonlocal pending_arm, applied_arm, next_boundary
+            retire_time = hook_core.retire_time
+            if pending_arm != applied_arm and retire_time >= bandit.selection_ready_cycle:
                 ensemble.set_arm(pending_arm)
                 applied_arm = pending_arm
+            if stats.l2_demand_accesses >= next_boundary:
+                next_boundary = stats.l2_demand_accesses + step_accesses
+                bandit.end_step(hook_core.counters())
+                pending_arm = bandit.begin_step(retire_time)
+                arm_trace.append((retire_time, pending_arm))
+                if ideal_latency:
+                    ensemble.set_arm(pending_arm)
+                    applied_arm = pending_arm
+            return (
+                next_boundary,
+                bandit.selection_ready_cycle
+                if pending_arm != applied_arm
+                else infinity,
+            )
+
+        core.run_compiled(trace, record_hook=bandit_hook)
+    else:
+        for record in trace:
+            core.execute(record)
+            if pending_arm != applied_arm and core.retire_time >= bandit.selection_ready_cycle:
+                ensemble.set_arm(pending_arm)
+                applied_arm = pending_arm
+            if stats.l2_demand_accesses >= next_boundary:
+                next_boundary = stats.l2_demand_accesses + params.step_l2_accesses
+                bandit.end_step(core.counters())
+                pending_arm = bandit.begin_step(core.retire_time)
+                arm_trace.append((core.retire_time, pending_arm))
+                if ideal_latency:
+                    ensemble.set_arm(pending_arm)
+                    applied_arm = pending_arm
     # The last begin_step() is still awaiting its reward: train on the
     # trailing partial step (or retract it if it covered zero cycles).
     bandit.flush_step(core.counters())
@@ -217,6 +268,7 @@ def run_bandit_prefetch(
         stats=stats,
         arm_history=list(algorithm.selection_history),
         arm_trace=arm_trace,
+        records=len(trace),
     )
 
 

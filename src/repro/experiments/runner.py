@@ -77,11 +77,12 @@ from repro.experiments.smt import (
 )
 from repro.prefetch.base import Prefetcher
 from repro.uncore.hierarchy import HierarchyConfig
+from repro.workloads.compiled import compiled_trace_for
 from repro.workloads.suites import spec_by_name
 
 #: Bump to invalidate every cached result (simulator-visible semantics
 #: changed: result dataclass layout, replay fidelity fixes, ...).
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 # ============================================================== cache keys
@@ -212,17 +213,42 @@ class TaskRecord:
     key: str
     seconds: float
     cache_hit: bool
+    #: Trace records the task replayed (0 when unknown or cache-served).
+    records: int = 0
 
 
 class RunTelemetry:
-    """Per-task wall time and cache accounting for one logical run."""
+    """Per-task wall time, throughput, and cache accounting for one run."""
 
     def __init__(self) -> None:
         self.tasks: List[TaskRecord] = []
+        #: Named phase timings (trace generation, replay, reporting, ...)
+        #: accumulated via :meth:`phase` / :meth:`add_phase`.
+        self.phases: Dict[str, float] = {}
         self._started = time.perf_counter()
 
-    def record(self, label: str, key: str, seconds: float, cache_hit: bool) -> None:
-        self.tasks.append(TaskRecord(label, key, seconds, cache_hit))
+    def record(
+        self,
+        label: str,
+        key: str,
+        seconds: float,
+        cache_hit: bool,
+        records: int = 0,
+    ) -> None:
+        self.tasks.append(TaskRecord(label, key, seconds, cache_hit, records))
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the named phase bucket."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the named phase bucket."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase(name, time.perf_counter() - start)
 
     @property
     def cache_hits(self) -> int:
@@ -241,18 +267,35 @@ class RunTelemetry:
     def wall_seconds(self) -> float:
         return time.perf_counter() - self._started
 
+    @property
+    def replayed_records(self) -> int:
+        """Total trace records replayed by executed (non-cached) tasks."""
+        return sum(record.records for record in self.tasks)
+
+    @property
+    def records_per_second(self) -> float:
+        """Replay throughput over executed tasks (0 when nothing ran)."""
+        executed = [r for r in self.tasks if not r.cache_hit and r.records]
+        seconds = sum(r.seconds for r in executed)
+        records = sum(r.records for r in executed)
+        return records / seconds if seconds > 0 else 0.0
+
     def summary_line(self, name: str = "run", jobs: int = 1) -> str:
-        return (
+        line = (
             f"[telemetry] {name}: {len(self.tasks)} tasks "
             f"({self.cache_hits} cache hits, {self.cache_misses} misses), "
             f"task time {self.task_seconds:.2f}s, "
             f"wall {self.wall_seconds:.2f}s, jobs {jobs}"
         )
+        throughput = self.records_per_second
+        if throughput:
+            line += f", {throughput:,.0f} records/s"
+        return line
 
     def manifest(self, **extra: Any) -> Dict[str, Any]:
         """The JSON run manifest emitted alongside the tables."""
         body: Dict[str, Any] = {
-            "manifest_version": 1,
+            "manifest_version": 2,
             "cache_schema_version": CACHE_SCHEMA_VERSION,
             "totals": {
                 "tasks": len(self.tasks),
@@ -260,6 +303,12 @@ class RunTelemetry:
                 "cache_misses": self.cache_misses,
                 "task_seconds": round(self.task_seconds, 6),
                 "wall_seconds": round(self.wall_seconds, 6),
+                "replayed_records": self.replayed_records,
+                "records_per_second": round(self.records_per_second, 3),
+            },
+            "phases": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.phases.items())
             },
             "tasks": [
                 {
@@ -267,6 +316,7 @@ class RunTelemetry:
                     "key": record.key,
                     "seconds": round(record.seconds, 6),
                     "cache_hit": record.cache_hit,
+                    "records": record.records,
                 }
                 for record in self.tasks
             ],
@@ -368,7 +418,11 @@ def run_parallel(
         results[index] = value
         if key is not None:
             cache.put(key, value)
-        telemetry.record(task.label, key or "", seconds, cache_hit=False)
+        replayed = getattr(value, "records", 0)
+        telemetry.record(
+            task.label, key or "", seconds, cache_hit=False,
+            records=replayed if isinstance(replayed, int) else 0,
+        )
 
     if not pending:
         return results
@@ -424,8 +478,8 @@ def fixed_prefetcher_task(
     gap_scale: float = 1.0,
 ) -> PrefetchRunResult:
     """One comparator-prefetcher replay, rebuilt from its spec name."""
-    trace = spec_by_name(spec_name).trace(trace_length, seed=seed,
-                                          gap_scale=gap_scale)
+    trace = compiled_trace_for(spec_name, trace_length, seed=seed,
+                               gap_scale=gap_scale)
     return run_fixed_prefetcher(
         trace, prefetcher_name, hierarchy_config, core_config,
         l1_prefetcher=_make_l1(l1_kind),
@@ -442,7 +496,7 @@ def fixed_arm_task(
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
 ) -> PrefetchRunResult:
     """One fixed-ensemble-arm replay (a best-static-arm sample)."""
-    trace = spec_by_name(spec_name).trace(trace_length, seed=seed)
+    trace = compiled_trace_for(spec_name, trace_length, seed=seed)
     return run_fixed_arm(trace, arm, hierarchy_config, core_config)
 
 
@@ -465,7 +519,7 @@ def bandit_prefetch_task(
     eGreedy / UCB / DUCB) built with ``algorithm_gamma``; ``None`` uses the
     paper's default DUCB with the γ from ``params``.
     """
-    trace = spec_by_name(spec_name).trace(trace_length, seed=seed)
+    trace = compiled_trace_for(spec_name, trace_length, seed=seed)
     algorithm = None
     if algorithm_name is not None:
         algorithm = table8_algorithm_lineup(

@@ -1,0 +1,177 @@
+"""Performance observability: profiling harness and benchmark regression gate.
+
+Two small tools that keep the hot-path replay engine honest:
+
+``profile_call``
+    Run a callable under :mod:`cProfile` and write a JSON summary (top
+    functions by cumulative and total time) next to the raw ``.prof`` dump.
+    The CLI's ``--profile`` flag routes every figure command through this.
+
+``compare_benchmarks`` / ``python -m repro.perf``
+    Compare a freshly produced ``pytest-benchmark`` JSON file against a
+    committed baseline (``BENCH_PR3.json``-style) and fail when any shared
+    benchmark regressed by more than ``--max-regression`` (default 20%).
+    CI runs this after the benchmark smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Default regression tolerance: a benchmark may be up to 20% slower than
+#: its committed baseline before the gate fails.
+DEFAULT_MAX_REGRESSION = 0.20
+
+#: Number of functions kept in each JSON profile summary table.
+PROFILE_TOP_FUNCTIONS = 25
+
+
+# ================================================================ profiling
+
+
+def _stats_table(
+    stats: pstats.Stats, sort: str, top: int
+) -> List[Dict[str, Any]]:
+    """The top-``top`` rows of a :class:`pstats.Stats` sorted by ``sort``."""
+    stats.sort_stats(sort)
+    rows: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, line, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    return rows
+
+
+def profile_call(
+    fn: Callable[[], Any],
+    output_stem: str | Path,
+    label: str = "",
+    top: int = PROFILE_TOP_FUNCTIONS,
+) -> Tuple[Any, Path]:
+    """Run ``fn`` under cProfile; write ``<stem>.prof`` and ``<stem>.json``.
+
+    The JSON summary holds wall time plus the top functions by cumulative
+    and by total time — enough to spot a hot-path regression in review
+    without loading the binary dump. Returns ``(fn's result, json path)``.
+    """
+    output_stem = Path(output_stem)
+    output_stem.parent.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - start
+    prof_path = output_stem.with_suffix(".prof")
+    profiler.dump_stats(str(prof_path))
+    stats = pstats.Stats(profiler)
+    summary = {
+        "label": label or output_stem.name,
+        "wall_seconds": round(wall, 6),
+        "total_calls": int(stats.total_calls),  # type: ignore[attr-defined]
+        "profile_dump": prof_path.name,
+        "top_cumulative": _stats_table(stats, "cumulative", top),
+        "top_tottime": _stats_table(stats, "tottime", top),
+    }
+    json_path = output_stem.with_suffix(".json")
+    json_path.write_text(json.dumps(summary, indent=2) + "\n")
+    return result, json_path
+
+
+# ========================================================== benchmark compare
+
+
+def load_benchmark_means(path: str | Path) -> Dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    means: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        mean = stats.get("mean")
+        if mean is not None:
+            means[bench["name"]] = float(mean)
+    return means
+
+
+def compare_benchmarks(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Tuple[bool, List[str]]:
+    """Compare benchmark means; returns ``(ok, report lines)``.
+
+    Only benchmarks present in *both* files gate the result (new benchmarks
+    have no baseline yet; removed ones no current number). A benchmark fails
+    when ``current > baseline * (1 + max_regression)``.
+    """
+    baseline = load_benchmark_means(baseline_path)
+    current = load_benchmark_means(current_path)
+    lines: List[str] = []
+    ok = True
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        return False, ["no benchmarks shared between baseline and current run"]
+    for name in shared:
+        base = baseline[name]
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        limit = 1.0 + max_regression
+        status = "ok" if ratio <= limit else "REGRESSION"
+        if status != "ok":
+            ok = False
+        lines.append(
+            f"{status:>10}  {name}: {cur:.4f}s vs baseline {base:.4f}s "
+            f"({ratio:.2f}x, limit {limit:.2f}x)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{'new':>10}  {name}: {current[name]:.4f}s (no baseline)")
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"{'missing':>10}  {name}: not in current run")
+    return ok, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Compare pytest-benchmark JSON results against a "
+        "committed baseline and fail on regressions.",
+    )
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline benchmark JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional slowdown before failing "
+        "(default %(default)s = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    ok, lines = compare_benchmarks(
+        args.baseline, args.current, max_regression=args.max_regression
+    )
+    for line in lines:
+        print(line)
+    print("benchmark gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

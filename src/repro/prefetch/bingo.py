@@ -23,6 +23,12 @@ from repro.prefetch.base import Prefetcher
 #: Blocks per region (2 KB regions of 64 B blocks, as in the Bingo paper).
 REGION_BLOCKS = 32
 
+#: Set-bit positions for every byte value, for footprint expansion without
+#: a 32-iteration scan per trigger.
+_BYTE_BITS = tuple(
+    tuple(bit for bit in range(8) if byte >> bit & 1) for byte in range(256)
+)
+
 
 @dataclass
 class _RegionEntry:
@@ -76,11 +82,18 @@ class BingoPrefetcher(Prefetcher):
         if footprint is None:
             return []
         base = region * REGION_BLOCKS
-        return [
-            base + bit
-            for bit in range(REGION_BLOCKS)
-            if footprint & (1 << bit) and bit != offset
-        ]
+        # Expand set bits byte by byte (ascending order, trigger excluded) —
+        # equivalent to scanning all REGION_BLOCKS bit positions.
+        predictions: List[int] = []
+        byte_base = 0
+        while footprint:
+            for bit in _BYTE_BITS[footprint & 0xFF]:
+                position = byte_base + bit
+                if position != offset:
+                    predictions.append(base + position)
+            footprint >>= 8
+            byte_base += 8
+        return predictions
 
     def _open_region(self, region: int, pc: int, offset: int) -> None:
         if len(self._accumulating) >= self.accumulation_capacity:

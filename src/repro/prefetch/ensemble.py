@@ -102,14 +102,25 @@ class EnsemblePrefetcher(Prefetcher):
         self.stride.set_degree(spec.stride_degree)
         self.stream.set_degree(spec.stream_degree)
 
-    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
-        candidates: List[int] = []
-        seen = set()
-        for component in (self.next_line, self.stride, self.stream):
-            for candidate in component.observe(pc, block, cycle, hit):
-                if candidate not in seen:
-                    seen.add(candidate)
-                    candidates.append(candidate)
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:  # repro: hot
+        # Every component trains on the demand stream regardless of the
+        # active arm (so a newly selected arm is effective immediately);
+        # the dedup pass only runs when more than one emitted candidates.
+        nl = self.next_line.observe(pc, block, cycle, hit)
+        st = self.stride.observe(pc, block, cycle, hit)
+        sm = self.stream.observe(pc, block, cycle, hit)
+        if not st and not sm:
+            return nl
+        candidates = list(nl)
+        seen = set(nl)
+        for candidate in st:
+            if candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
+        for candidate in sm:
+            if candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
         return candidates
 
     def reset(self) -> None:

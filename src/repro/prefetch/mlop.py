@@ -44,9 +44,14 @@ class MLOPPrefetcher(Prefetcher):
         self.score_fraction = score_fraction
         # block -> access index, LRU-bounded.
         self._access_map: "OrderedDict[int, int]" = OrderedDict()
-        self._scores: List[Dict[int, int]] = [
-            {offset: 0 for offset in self.offsets} for _ in range(num_lookaheads)
-        ]
+        # offset -> per-lookahead-level score counts (transposed from the
+        # paper's level-major matrix so the hot loop bumps a flat list).
+        self._scores: Dict[int, List[int]] = {
+            offset: [0] * num_lookaheads for offset in self.offsets
+        }
+        # (offset, counts) pairs snapshotted for the hot probe loop, so a
+        # scoring hit skips the ``scores[offset]`` dict lookup.
+        self._score_items = tuple(self._scores.items())
         self._access_index = 0
         self._round_accesses = 0
         self.selected_offsets: List[int] = [1]
@@ -56,21 +61,29 @@ class MLOPPrefetcher(Prefetcher):
         # The DPC-3 design reports ~8 KB: access maps + score matrix.
         return 8 * 1024
 
-    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
-        self._access_index += 1
-        for offset in self.offsets:
-            origin = self._access_map.get(block - offset)
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:  # repro: hot
+        index = self._access_index + 1
+        self._access_index = index
+        access_map = self._access_map
+        access_map_get = access_map.get
+        num_lookaheads = self.num_lookaheads
+        for offset, counts in self._score_items:
+            origin = access_map_get(block - offset)
             if origin is None:
                 continue
-            age = self._access_index - origin
+            age = index - origin
             # The offset would have prefetched this block `age` accesses
             # early; credit every lookahead level it satisfies.
-            for level in range(min(age, self.num_lookaheads)):
-                self._scores[level][offset] += 1
-        self._access_map[block] = self._access_index
-        self._access_map.move_to_end(block)
-        if len(self._access_map) > self.map_capacity:
-            self._access_map.popitem(last=False)
+            if age > num_lookaheads:
+                age = num_lookaheads
+            level = 0
+            while level < age:
+                counts[level] += 1
+                level += 1
+        access_map[block] = index
+        access_map.move_to_end(block)
+        if len(access_map) > self.map_capacity:
+            access_map.popitem(last=False)
         self._round_accesses += 1
         if self._round_accesses >= self.round_length:
             self._finish_round()
@@ -78,25 +91,25 @@ class MLOPPrefetcher(Prefetcher):
 
     def _finish_round(self) -> None:
         threshold = int(self.round_length * self.score_fraction)
+        scores = self._scores
         chosen: List[int] = []
         for level in range(self.num_lookaheads):
-            scores = self._scores[level]
-            best = max(self.offsets, key=lambda offset: scores[offset])
-            if scores[best] >= threshold and best not in chosen:
+            best = max(self.offsets, key=lambda offset: scores[offset][level])
+            if scores[best][level] >= threshold and best not in chosen:
                 chosen.append(best)
         self.selected_offsets = chosen if chosen else []
-        self._scores = [
-            {offset: 0 for offset in self.offsets}
-            for _ in range(self.num_lookaheads)
-        ]
+        self._scores = {
+            offset: [0] * self.num_lookaheads for offset in self.offsets
+        }
+        self._score_items = tuple(self._scores.items())
         self._round_accesses = 0
 
     def reset(self) -> None:
         self._access_map.clear()
-        self._scores = [
-            {offset: 0 for offset in self.offsets}
-            for _ in range(self.num_lookaheads)
-        ]
+        self._scores = {
+            offset: [0] * self.num_lookaheads for offset in self.offsets
+        }
+        self._score_items = tuple(self._scores.items())
         self._access_index = 0
         self._round_accesses = 0
         self.selected_offsets = [1]

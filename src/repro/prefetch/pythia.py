@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.prefetch.base import Prefetcher
 from repro.util.rng import make_rng
@@ -79,6 +79,10 @@ class PythiaPrefetcher(Prefetcher):
         ]
         # state -> list of Q values per action; LRU-bounded.
         self._q: "OrderedDict[int, List[float]]" = OrderedDict()
+        # state -> (max Q value, first argmax index), maintained exactly in
+        # step with ``_q`` so greedy selection and the update target skip
+        # the 64-element max scan.
+        self._qmax: Dict[int, Tuple[float, int]] = {}
         # pending prefetch: block -> (state, action index, issue access index)
         self._pending: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
         self._last_block: Optional[int] = None
@@ -105,26 +109,60 @@ class PythiaPrefetcher(Prefetcher):
         values = self._q.get(state)
         if values is None:
             if len(self._q) >= self.config.max_states:
-                self._q.popitem(last=False)
+                evicted_state, _ = self._q.popitem(last=False)
+                del self._qmax[evicted_state]
             values = [0.0] * len(self.actions)
             self._q[state] = values
+            self._qmax[state] = (0.0, 0)
         else:
             self._q.move_to_end(state)
         return values
 
     # ------------------------------------------------------------------- API
 
-    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
-        self._access_index += 1
-        self._resolve_demand(block)
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:  # repro: hot
+        config = self.config
+        access_index = self._access_index + 1
+        self._access_index = access_index
 
-        state = self._state(pc, block)
+        # _resolve_demand, inlined: reward a pending prefetch on its demand.
+        entry = self._pending.pop(block, None)
+        if entry is not None:
+            if access_index - entry[2] >= config.late_age_accesses:
+                self._update(entry[0], entry[1], config.reward_timely)
+            else:
+                self._update(entry[0], entry[1], config.reward_late)
+
+        # _state, inlined.
+        last_block = self._last_block
+        delta = 0 if last_block is None else block - last_block
+        if delta > 16:
+            delta = 17
+        elif delta < -16:
+            delta = -17
+        state = ((pc & 0x3F) << 6) | ((delta + 17) & 0x3F)
         self._last_block = block
-        values = self._q_values(state)
-        if self._rng.random() < self.config.epsilon:
+
+        # _q_values, inlined.
+        q = self._q
+        qmax = self._qmax
+        values = q.get(state)
+        if values is None:
+            if len(q) >= config.max_states:
+                evicted_state, _ = q.popitem(last=False)
+                del qmax[evicted_state]
+            values = [0.0] * len(self.actions)
+            q[state] = values
+            qmax[state] = (0.0, 0)
+        else:
+            q.move_to_end(state)
+
+        if self._rng.random() < config.epsilon:
             action_index = self._rng.randrange(len(self.actions))
         else:
-            action_index = max(range(len(self.actions)), key=values.__getitem__)
+            # First maximum (identical to values.index(max(values))): the
+            # cached argmax is maintained exactly by ``_update``.
+            action_index = qmax[state][1]
         self.action_counts[action_index] += 1
 
         offset, degree = self.actions[action_index]
@@ -181,8 +219,23 @@ class PythiaPrefetcher(Prefetcher):
         if values is None:
             return
         config = self.config
-        target = reward + config.gamma * max(values)
-        values[action_index] += config.alpha * (target - values[action_index])
+        qmax = self._qmax
+        best_value, best_index = qmax[state]
+        # ``best_value`` is exactly ``max(values)`` by invariant.
+        target = reward + config.gamma * best_value
+        old = values[action_index]
+        new = old + config.alpha * (target - old)
+        values[action_index] = new
+        # Re-establish (max, first argmax) exactly: only a decrease of the
+        # current argmax entry needs a rescan.
+        if new > best_value:
+            qmax[state] = (new, action_index)
+        elif action_index == best_index:
+            if new != best_value:
+                best_value = max(values)
+                qmax[state] = (best_value, values.index(best_value))
+        elif new == best_value and action_index < best_index:
+            qmax[state] = (best_value, action_index)
 
     # ---------------------------------------------------------------- extras
 
@@ -208,6 +261,7 @@ class PythiaPrefetcher(Prefetcher):
 
     def reset(self) -> None:
         self._q.clear()
+        self._qmax.clear()
         self._pending.clear()
         self._last_block = None
         self._access_index = 0

@@ -56,21 +56,23 @@ class StreamPrefetcher(Prefetcher):
             raise ValueError(f"degree must be >= 0, got {degree}")
         self.degree = degree
 
-    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:  # repro: hot
         # Training happens regardless of degree so that the ensemble's arm
         # switches find already-warm trackers; only emission is gated.
+        trackers = self._trackers
         region = block // REGION_BLOCKS
-        tracker = self._trackers.get(region)
+        tracker = trackers.get(region)
         if tracker is None:
             self._allocate(region, block)
             return []
-        self._trackers.move_to_end(region)
+        trackers.move_to_end(region)
         delta = block - tracker.last_block
         if delta == 0:
             return []
         direction = 1 if delta > 0 else -1
         if direction == tracker.direction:
-            tracker.confidence = min(tracker.confidence + 1, 3)
+            confidence = tracker.confidence + 1
+            tracker.confidence = 3 if confidence > 3 else confidence
         else:
             tracker.confidence -= 1
             if tracker.confidence <= 0:

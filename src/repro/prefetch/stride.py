@@ -53,29 +53,31 @@ class StridePrefetcher(Prefetcher):
             raise ValueError(f"degree must be >= 0, got {degree}")
         self.degree = degree
 
-    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
+    def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:  # repro: hot
         # Training happens regardless of degree so that the ensemble's arm
         # switches find an already-warm table; only emission is gated.
-        entry = self._entries.get(pc)
+        entries = self._entries
+        entry = entries.get(pc)
         if entry is None:
-            if len(self._entries) >= self.num_trackers:
-                self._entries.popitem(last=False)
-            self._entries[pc] = _StrideEntry(last_block=block, stride=0, confidence=0)
+            if len(entries) >= self.num_trackers:
+                entries.popitem(last=False)
+            entries[pc] = _StrideEntry(last_block=block, stride=0, confidence=0)
             return []
-        self._entries.move_to_end(pc)
+        entries.move_to_end(pc)
         stride = block - entry.last_block
         entry.last_block = block
         if stride == 0:
             return []
         if stride == entry.stride:
-            entry.confidence = min(entry.confidence + 1, 3)
+            confidence = entry.confidence + 1
+            entry.confidence = 3 if confidence > 3 else confidence
         else:
             entry.stride = stride
             entry.confidence = 1
             return []
         if entry.confidence < CONFIDENCE_THRESHOLD or self.degree == 0:
             return []
-        return [block + entry.stride * i for i in range(1, self.degree + 1)]
+        return [block + stride * i for i in range(1, self.degree + 1)]
 
     def reset(self) -> None:
         self._entries.clear()

@@ -15,10 +15,11 @@ prefetching studies typically treat them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Optional
 
 from repro.prefetch.base import Prefetcher
-from repro.uncore.cache import Cache
+from repro.uncore.cache import Cache, CacheLine
 from repro.uncore.dram import DRAMModel
 from repro.uncore.mshr import MSHR
 from repro.workloads.trace import BLOCK_SHIFT
@@ -127,12 +128,150 @@ class CacheHierarchy:
 
     # --------------------------------------------------------------- internals
 
-    def _demand_access(
+    def _demand_access(  # repro: hot
         self, pc: int, address: int, cycle: float, *, is_write: bool
     ) -> float:
+        """Fused demand path: lookups, fills, and MSHR checks inline.
+
+        Byte-for-byte equivalent to :meth:`_demand_access_generic` (the
+        readable reference implementation it falls back to whenever a cache
+        level is a replacement-policy subclass): same counter updates in the
+        same order, same recency stamps, same fill cascades. The fusion only
+        removes per-access method-call overhead — ``Cache.lookup`` /
+        ``Cache.insert`` / ``MSHR.drain_completed`` dispatches on the replay
+        hot loop.
+        """
+        l1 = self.l1
+        l2 = self.l2
+        llc = self.llc
+        if type(l1) is not Cache or type(l2) is not Cache or type(llc) is not Cache:
+            return self._demand_access_generic(pc, address, cycle, is_write=is_write)
+
         config = self.config
         block = address >> BLOCK_SHIFT
-        self.mshr.drain_completed(cycle, self._install_fill)
+        mshr = self.mshr
+        heap = mshr._heap
+        if heap and heap[0][0] <= cycle:
+            mshr.drain_completed(cycle, self._install_fill)
+
+        # Inlined l1.lookup(block).
+        cache_set = l1._sets[block % l1.num_sets]
+        line = cache_set.get(block)
+        if line is None:
+            l1.misses += 1
+        else:
+            l1.hits += 1
+            stamp = l1._stamp + 1
+            l1._stamp = stamp
+            line.last_use = stamp
+            line.used = True
+            del cache_set[block]
+            cache_set[block] = line
+        if self.l1_prefetcher is not None:
+            self._run_l1_prefetcher(pc, block, cycle, hit=line is not None)
+        if line is not None:
+            if is_write:
+                line.dirty = True
+            return cycle + config.l1_latency
+
+        # L1 miss -> L2 demand access; this stream trains the L2 prefetcher.
+        stats = self.stats
+        l2_cycle = cycle + config.l1_latency
+        stats.l2_demand_accesses += 1
+        # Inlined l2.lookup(block).
+        l2_set = l2._sets[block % l2.num_sets]
+        l2_line = l2_set.get(block)
+        if l2_line is not None:
+            l2.hits += 1
+            stamp = l2._stamp + 1
+            l2._stamp = stamp
+            l2_line.last_use = stamp
+            l2_line.used = True
+            del l2_set[block]
+            l2_set[block] = l2_line
+            stats.l2_demand_hits += 1
+            if l2_line.prefetched:
+                # First demand use of a prefetched, resident line: timely.
+                stats.prefetch.timely += 1
+                l2_line.prefetched = False
+            ready = l2_cycle + config.l2_latency
+        else:
+            l2.misses += 1
+            # Inlined _l2_miss(block, l2_cycle).
+            inflight = mshr._inflight.get(block)
+            if inflight is not None:
+                ready_cycle, is_prefetch = inflight
+                if is_prefetch:
+                    # Demand caught up with an in-flight prefetch: late.
+                    stats.prefetch.late += 1
+                    mshr.promote_to_demand(block)
+                    self._inflight_prefetches -= 1
+                l2_ready = l2_cycle + config.l2_latency
+                ready = ready_cycle if ready_cycle > l2_ready else l2_ready
+            else:
+                llc_cycle = l2_cycle + config.l2_latency
+                stats.llc_demand_accesses += 1
+                # Inlined llc.lookup(block).
+                llc_set = llc._sets[block % llc.num_sets]
+                llc_line = llc_set.get(block)
+                if llc_line is not None:
+                    llc.hits += 1
+                    stamp = llc._stamp + 1
+                    llc._stamp = stamp
+                    llc_line.last_use = stamp
+                    llc_line.used = True
+                    del llc_set[block]
+                    llc_set[block] = llc_line
+                    stats.llc_demand_hits += 1
+                    ready = llc_cycle + config.llc_latency
+                    self._fill_l2(block, prefetched=False)
+                else:
+                    llc.misses += 1
+                    # DRAM fill through the MSHR (allocate inlined; the
+                    # in-flight probe above guarantees no duplicate entry).
+                    ready = self.dram.access(llc_cycle + config.llc_latency)
+                    stats.dram_demand_fills += 1
+                    inflight_map = mshr._inflight
+                    if len(inflight_map) < mshr.capacity:
+                        inflight_map[block] = (ready, False)
+                        heappush(heap, (ready, block))
+                    else:
+                        # MSHR pressure: the fill still happens, just
+                        # untracked (the demand already paid its latency).
+                        self._install_fill(block, ready, False)
+        # Inlined _fill_l1(block, dirty=is_write).
+        stamp = l1._stamp + 1
+        l1._stamp = stamp
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.last_use = stamp
+            existing.dirty = existing.dirty or is_write
+            del cache_set[block]
+            cache_set[block] = existing
+        else:
+            victim = None
+            if len(cache_set) >= l1.ways:
+                victim_block = next(iter(cache_set))
+                victim = cache_set.pop(victim_block)
+                l1._resident -= 1
+            cache_set[block] = CacheLine(block, stamp, False, False, is_write)
+            l1._resident += 1
+            if victim is not None and victim.dirty:
+                # L1 writeback lands in L2 (no DRAM traffic).
+                self._fill_l2(victim.block, prefetched=False, dirty=True)
+        if self.l2_prefetcher is not None:
+            self._run_l2_prefetcher(pc, block, cycle, hit=l2_line is not None)
+        return ready
+
+    def _demand_access_generic(
+        self, pc: int, address: int, cycle: float, *, is_write: bool
+    ) -> float:
+        """Reference demand path (replacement-policy caches route here)."""
+        config = self.config
+        block = address >> BLOCK_SHIFT
+        mshr = self.mshr
+        if mshr.has_inflight:
+            mshr.drain_completed(cycle, self._install_fill)
 
         line = self.l1.lookup(block)
         if self.l1_prefetcher is not None:
@@ -143,14 +282,15 @@ class CacheHierarchy:
             return cycle + config.l1_latency
 
         # L1 miss -> L2 demand access; this stream trains the L2 prefetcher.
+        stats = self.stats
         l2_cycle = cycle + config.l1_latency
-        self.stats.l2_demand_accesses += 1
+        stats.l2_demand_accesses += 1
         l2_line = self.l2.lookup(block)
         if l2_line is not None:
-            self.stats.l2_demand_hits += 1
+            stats.l2_demand_hits += 1
             if l2_line.prefetched:
                 # First demand use of a prefetched, resident line: timely.
-                self.stats.prefetch.timely += 1
+                stats.prefetch.timely += 1
                 l2_line.prefetched = False
             ready = l2_cycle + config.l2_latency
         else:
@@ -206,20 +346,90 @@ class CacheHierarchy:
             # L1 writeback lands in L2 (no DRAM traffic).
             self._fill_l2(victim.block, prefetched=False, dirty=True)
 
-    def _fill_l2(self, block: int, *, prefetched: bool, dirty: bool = False) -> None:
-        victim = self.l2.insert(block, prefetched=prefetched, dirty=dirty)
-        if victim is not None:
+    def _fill_l2(  # repro: hot
+        self, block: int, *, prefetched: bool, dirty: bool = False
+    ) -> None:
+        """Fill into L2: fused ``insert`` + victim handling for plain caches.
+
+        On the eviction path the victim :class:`CacheLine` object is
+        recycled for the incoming block (its fields are read out first), so
+        a warm cache fills without allocating.
+        """
+        l2 = self.l2
+        if type(l2) is not Cache:
+            victim = l2.insert(block, prefetched=prefetched, dirty=dirty)
+            if victim is not None:
+                if victim.prefetched and not victim.used:
+                    self.stats.prefetch.wrong += 1
+                if victim.dirty:
+                    self._fill_llc(victim.block, prefetched=False, dirty=True)
+            return
+        cache_set = l2._sets[block % l2.num_sets]
+        stamp = l2._stamp + 1
+        l2._stamp = stamp
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.last_use = stamp
+            existing.dirty = existing.dirty or dirty
+            del cache_set[block]
+            cache_set[block] = existing
+            return
+        if len(cache_set) >= l2.ways:
+            victim_block = next(iter(cache_set))
+            victim = cache_set.pop(victim_block)
+            victim_dirty = victim.dirty
             if victim.prefetched and not victim.used:
                 self.stats.prefetch.wrong += 1
-            if victim.dirty:
-                self._fill_llc(victim.block, prefetched=False, dirty=True)
+            victim.block = block
+            victim.last_use = stamp
+            victim.prefetched = prefetched
+            victim.used = False
+            victim.dirty = dirty
+            cache_set[block] = victim
+            if victim_dirty:
+                self._fill_llc(victim_block, prefetched=False, dirty=True)
+        else:
+            cache_set[block] = CacheLine(block, stamp, prefetched, False, dirty)
+            l2._resident += 1
 
-    def _fill_llc(self, block: int, *, prefetched: bool, dirty: bool = False) -> None:
-        victim = self.llc.insert(block, prefetched=prefetched, dirty=dirty)
-        if victim is not None and victim.dirty:
-            self.stats.writebacks += 1
-            # Dirty LLC victims consume DRAM bandwidth but no one waits on them.
-            self.dram.writeback()
+    def _fill_llc(  # repro: hot
+        self, block: int, *, prefetched: bool, dirty: bool = False
+    ) -> None:
+        llc = self.llc
+        if type(llc) is not Cache:
+            victim = llc.insert(block, prefetched=prefetched, dirty=dirty)
+            if victim is not None and victim.dirty:
+                self.stats.writebacks += 1
+                # Dirty LLC victims consume DRAM bandwidth; no one waits.
+                self.dram.writeback()
+            return
+        cache_set = llc._sets[block % llc.num_sets]
+        stamp = llc._stamp + 1
+        llc._stamp = stamp
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.last_use = stamp
+            existing.dirty = existing.dirty or dirty
+            del cache_set[block]
+            cache_set[block] = existing
+            return
+        if len(cache_set) >= llc.ways:
+            victim_block = next(iter(cache_set))
+            victim = cache_set.pop(victim_block)
+            victim_dirty = victim.dirty
+            victim.block = block
+            victim.last_use = stamp
+            victim.prefetched = prefetched
+            victim.used = False
+            victim.dirty = dirty
+            cache_set[block] = victim
+            if victim_dirty:
+                self.stats.writebacks += 1
+                # Dirty LLC victims consume DRAM bandwidth; no one waits.
+                self.dram.writeback()
+        else:
+            cache_set[block] = CacheLine(block, stamp, prefetched, False, dirty)
+            llc._resident += 1
 
     # ------------------------------------------------------------ prefetching
 

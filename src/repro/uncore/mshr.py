@@ -30,6 +30,11 @@ class MSHR:
     def full(self) -> bool:
         return len(self._inflight) >= self.capacity
 
+    @property
+    def has_inflight(self) -> bool:
+        """Cheap guard so quiescent-MSHR accesses skip the drain call."""
+        return bool(self._heap)
+
     def lookup(self, block: int) -> Optional[Tuple[float, bool]]:
         """Return ``(ready_cycle, is_prefetch)`` if ``block`` is in flight."""
         return self._inflight.get(block)

@@ -197,11 +197,13 @@ class PolicyCache(Cache):
         if len(cache_set) >= self.ways:
             victim_block = self.policy.choose_victim(set_index, cache_set)
             victim_line = cache_set.pop(victim_block)
+            self._resident -= 1
             self.policy.on_evict(set_index, victim_block)
         self._stamp += 1
         cache_set[block] = CacheLine(
             block=block, last_use=self._stamp, prefetched=prefetched,
             used=False, dirty=dirty,
         )
+        self._resident += 1
         self.policy.on_insert(set_index, block)
         return victim_line

@@ -95,21 +95,41 @@ def write_trace(trace: Iterable[TraceRecord], path: str | Path) -> int:
     return count
 
 
+#: Records decoded per read in :func:`read_trace` (64 KB-ish chunks).
+_READ_CHUNK_RECORDS = 4096
+
+
 def read_trace(path: str | Path) -> List[TraceRecord]:
-    """Read a trace previously written by :func:`write_trace`."""
+    """Read a trace previously written by :func:`write_trace`.
+
+    Reads in multi-record chunks and decodes each chunk with one
+    ``Struct.iter_unpack`` call rather than one ``read`` + ``unpack`` pair
+    per record; a trailing partial record still raises ``ValueError``.
+    """
     records: List[TraceRecord] = []
+    append = records.append
     size = _RECORD_STRUCT.size
+    chunk_bytes = size * _READ_CHUNK_RECORDS
+    pending = b""
     with gzip.open(Path(path), "rb") as handle:
         while True:
-            chunk = handle.read(size)
+            chunk = handle.read(chunk_bytes)
             if not chunk:
                 break
-            if len(chunk) != size:
-                raise ValueError(f"truncated trace file: {path}")
-            pc, address, is_write, inst_gap, dependent = _RECORD_STRUCT.unpack(chunk)
-            records.append(
-                TraceRecord(pc, address, bool(is_write), inst_gap, bool(dependent))
-            )
+            if pending:
+                chunk = pending + chunk
+            whole = len(chunk) - len(chunk) % size
+            pending = chunk[whole:]
+            for pc, address, is_write, inst_gap, dependent in (
+                _RECORD_STRUCT.iter_unpack(chunk[:whole])
+            ):
+                append(
+                    TraceRecord(
+                        pc, address, bool(is_write), inst_gap, bool(dependent)
+                    )
+                )
+    if pending:
+        raise ValueError(f"truncated trace file: {path}")
     return records
 
 

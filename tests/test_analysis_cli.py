@@ -74,7 +74,7 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
             assert code in out
 
 

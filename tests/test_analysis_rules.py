@@ -1,4 +1,4 @@
-"""Rule-level tests for the fidelity linter (repro.analysis rules R1-R6).
+"""Rule-level tests for the fidelity linter (repro.analysis rules R1-R7).
 
 Each rule gets at least one fixture that must trigger it and one that must
 stay clean, exercised through ``check_module`` exactly as the CLI does.
@@ -14,6 +14,7 @@ from repro.analysis.rules import (
     RULES_BY_CODE,
     DeterminismRule,
     FloatEqualityRule,
+    HotLoopRule,
     MutableDefaultRule,
     PaperConstantRule,
     PickleSafetyRule,
@@ -428,9 +429,117 @@ class TestSuppression:
 
 def test_rule_catalogue_is_consistent():
     assert [rule.code for rule in ALL_RULES] == [
-        "R1", "R2", "R3", "R4", "R5", "R6"
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7"
     ]
     for code, rule in RULES_BY_CODE.items():
         assert rule.code == code
         assert rule.name
         assert rule.description
+
+
+class TestHotLoopRule:
+    RULES = (HotLoopRule(),)
+
+    def test_flags_append_of_constructor_in_hot_loop(self):
+        findings = lint(
+            """
+            def build(raw):  # repro: hot
+                records = []
+                for pc, addr in raw:
+                    records.append(Record(pc, addr))
+                return records
+            """,
+            rules=self.RULES,
+        )
+        assert codes(findings) == ["R7"]
+
+    def test_flags_bound_append_alias(self):
+        findings = lint(
+            """
+            # repro: hot
+            def build(raw):
+                records = []
+                records_append = records.append
+                for pc in raw:
+                    records_append(Record(pc))
+                return records
+            """,
+            rules=self.RULES,
+        )
+        assert codes(findings) == ["R7"]
+
+    def test_flags_repeated_attribute_chain(self):
+        findings = lint(
+            """
+            class Replayer:
+                def run(self, trace):  # repro: hot
+                    total = 0
+                    for record in trace:
+                        self.stats.count += 1
+                        self.stats.count += 1
+                        self.stats.count += 1
+                        total += self.stats.count
+                    return total
+            """,
+            rules=self.RULES,
+        )
+        assert codes(findings) == ["R7"]
+        assert "self.stats.count" in findings[0].message
+
+    def test_unmarked_function_is_ignored(self):
+        findings = lint(
+            """
+            def build(raw):
+                records = []
+                for pc, addr in raw:
+                    records.append(Record(pc, addr))
+                return records
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_loop_assigned_roots_are_not_hoistable(self):
+        # `line` is a fresh object each iteration: repeated field access on
+        # it cannot be bound before the loop, so it must not be flagged.
+        findings = lint(
+            """
+            def drain(sets):  # repro: hot
+                for key in sets:
+                    line = sets[key]
+                    line.used = True
+                    line.dirty = False
+                    line.last = 0
+                    line.used = line.used or line.dirty
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_scalar_append_is_clean(self):
+        findings = lint(
+            """
+            def compile_trace(records):  # repro: hot
+                pcs = []
+                pcs_append = pcs.append
+                for record in records:
+                    pcs_append(record)
+                return pcs
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_below_threshold_chain_is_clean(self):
+        findings = lint(
+            """
+            class Replayer:
+                def run(self, trace):  # repro: hot
+                    total = 0
+                    for record in trace:
+                        total += self.stats.count
+                    return total
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []

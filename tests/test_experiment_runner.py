@@ -155,18 +155,32 @@ class TestRunParallel:
 class TestTelemetryManifest:
     def test_manifest_structure(self, tmp_path):
         telemetry = RunTelemetry()
-        telemetry.record("a", "k1", 0.5, cache_hit=False)
+        telemetry.record("a", "k1", 0.5, cache_hit=False, records=1000)
         telemetry.record("b", "k2", 0.0, cache_hit=True)
+        telemetry.add_phase("replay", 0.5)
         path = telemetry.write_manifest(tmp_path / "run.manifest.json",
                                         command="fig08")
         body = json.loads(path.read_text())
-        assert body["manifest_version"] == 1
+        assert body["manifest_version"] == 2
         assert body["cache_schema_version"] == CACHE_SCHEMA_VERSION
         assert body["command"] == "fig08"
         assert body["totals"]["tasks"] == 2
         assert body["totals"]["cache_hits"] == 1
         assert body["totals"]["cache_misses"] == 1
+        assert body["totals"]["replayed_records"] == 1000
+        assert body["totals"]["records_per_second"] == 2000.0
+        assert body["phases"] == {"replay": 0.5}
         assert [t["label"] for t in body["tasks"]] == ["a", "b"]
+        assert [t["records"] for t in body["tasks"]] == [1000, 0]
+
+    def test_phase_timer_accumulates(self):
+        telemetry = RunTelemetry()
+        with telemetry.phase("generate"):
+            pass
+        with telemetry.phase("generate"):
+            pass
+        assert set(telemetry.phases) == {"generate"}
+        assert telemetry.phases["generate"] >= 0.0
 
 
 class TestExperimentTasks:

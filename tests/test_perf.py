@@ -1,0 +1,89 @@
+"""Tests for the perf observability module (profiling + benchmark gate)."""
+
+import json
+
+import pytest
+
+from repro.perf import compare_benchmarks, main, profile_call
+
+
+def _bench_json(path, mean_by_name):
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in mean_by_name.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompareBenchmarks:
+    def test_within_tolerance_passes(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 10.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 11.5})
+        ok, lines = compare_benchmarks(base, cur, max_regression=0.20)
+        assert ok
+        assert any("fig08" in line for line in lines)
+
+    def test_regression_fails(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 10.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 12.5})
+        ok, lines = compare_benchmarks(base, cur, max_regression=0.20)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_speedup_passes(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 26.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 11.0})
+        ok, _ = compare_benchmarks(base, cur)
+        assert ok
+
+    def test_new_benchmark_does_not_gate(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 10.0})
+        cur = _bench_json(tmp_path / "cur.json",
+                          {"fig08": 10.0, "fig09": 99.0})
+        ok, lines = compare_benchmarks(base, cur)
+        assert ok
+        assert any("new" in line and "fig09" in line for line in lines)
+
+    def test_no_shared_benchmarks_fails(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+        cur = _bench_json(tmp_path / "cur.json", {"b": 1.0})
+        ok, _ = compare_benchmarks(base, cur)
+        assert not ok
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 10.0})
+        good = _bench_json(tmp_path / "good.json", {"fig08": 10.5})
+        bad = _bench_json(tmp_path / "bad.json", {"fig08": 20.0})
+        assert main(["--baseline", str(base), "--current", str(good)]) == 0
+        assert main(["--baseline", str(base), "--current", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_custom_tolerance(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 10.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 14.0})
+        assert main(["--baseline", str(base), "--current", str(cur),
+                     "--max-regression", "0.5"]) == 0
+
+
+class TestProfileCall:
+    def test_writes_dump_and_summary(self, tmp_path):
+        result, summary_path = profile_call(
+            lambda: sum(range(1000)), tmp_path / "probe", label="probe"
+        )
+        assert result == sum(range(1000))
+        summary = json.loads(summary_path.read_text())
+        assert summary["label"] == "probe"
+        assert summary["wall_seconds"] >= 0
+        assert summary["top_cumulative"]
+        assert (tmp_path / "probe.prof").is_file()
+
+    def test_propagates_exceptions(self, tmp_path):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom, tmp_path / "boom")
