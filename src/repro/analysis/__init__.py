@@ -21,23 +21,48 @@ simulation runs*, the invariants the runtime test suite can only exercise:
   bug class).
 - **R5 float equality** — ``==``/``!=`` against float literals.
 - **R6 mutable default arguments**.
+- **R7 hot-loop hygiene** — ``# repro: hot`` functions must not allocate
+  record objects or re-walk long attribute chains per loop iteration.
+
+The project-wide rules run over an inter-procedural symbol table and call
+graph (:mod:`repro.analysis.symbols` / :mod:`repro.analysis.callgraph`)
+built from all scanned files at once:
+
+- **R8 seed provenance** — every RNG construction must trace, through
+  assignments, parameters (followed to every caller) and wrappers, back
+  to :func:`repro.util.rng.derive_seed` or an explicit config seed; any
+  entropy source (``hash()``, wall clock, ``os.urandom``/``getpid``,
+  uuid/secrets) in the flow is flagged.
+- **R9 constant provenance** — distinctive Table 6/7 *values* (e.g.
+  γ = 0.999) re-derived outside :mod:`repro.constants`, even via local
+  aliasing or literal arithmetic.
+- **R10 mirror drift** — ``# repro: mirror[name]``-tagged kernel/object-
+  path region pairs must change together; fingerprints are compared
+  against the checked-in ``mirror-manifest.json`` (refresh with
+  ``--update-mirrors`` after verifying with ``REPRO_SANITIZE=1``).
 
 Findings can be suppressed per line with ``# repro: ignore`` or
 ``# repro: ignore[R1,R4]``, or burned down incrementally through a checked
-in baseline file (``--baseline``).
+in baseline file (``--baseline``; prune dead entries with ``--prune``).
 
 Run it as ``python -m repro.analysis src/``.
 """
 
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.core import Finding, ParsedModule, run_analysis
+from repro.analysis.project_rules import PROJECT_RULES, ProjectRule
 from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.symbols import Project, build_project
 
 __all__ = [
     "ALL_RULES",
     "Finding",
     "ParsedModule",
+    "PROJECT_RULES",
+    "Project",
+    "ProjectRule",
     "Rule",
+    "build_project",
     "load_baseline",
     "run_analysis",
     "write_baseline",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.core import Finding
 
@@ -64,3 +64,53 @@ def split_by_baseline(
         else:
             new.append(finding)
     return new, baselined
+
+
+def stale_entries(accepted: Set[str], root: Path) -> Set[str]:
+    """Baseline keys whose finding can no longer exist in the tree.
+
+    An entry ``rule|path|line-text`` is stale when ``root/path`` is gone,
+    or when the recorded line text no longer appears anywhere in that file
+    — the code the entry grandfathered has been fixed or rewritten, so the
+    entry is dead weight. The check is purely content-based, which keeps
+    it safe under partial runs (linting a subset of paths never marks the
+    rest of the baseline stale).
+    """
+    stale: Set[str] = set()
+    contents: Dict[str, Optional[Set[str]]] = {}
+    for entry in accepted:
+        parts = entry.split("|", 2)
+        if len(parts) != 3:
+            stale.add(entry)
+            continue
+        _rule, rel_path, line_text = parts
+        file_path = root / rel_path
+        if rel_path not in contents:
+            source: Optional[str]
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError:
+                source = None
+            contents[rel_path] = (
+                None if source is None
+                else {line.strip() for line in source.splitlines()}
+            )
+        lines = contents[rel_path]
+        if lines is None or line_text not in lines:
+            stale.add(entry)
+    return stale
+
+
+def prune_baseline(path: Path, root: Path) -> Set[str]:
+    """Drop stale entries from the baseline file; returns what was removed."""
+    accepted = load_baseline(path)
+    stale = stale_entries(accepted, root)
+    if stale:
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(accepted - stale),
+        }
+        path.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+    return stale

@@ -16,15 +16,27 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.analysis.baseline import (
+    load_baseline,
+    prune_baseline,
+    split_by_baseline,
+    stale_entries,
+    write_baseline,
+)
 from repro.analysis.core import Finding, run_analysis
-from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule
+from repro.analysis.project_rules import PROJECT_RULES
+from repro.analysis.rules import ALL_RULES, Rule
+
+#: Every rule the CLI knows: per-module R1–R7 plus project-wide R8–R10.
+ACTIVE_RULES: Tuple[Rule, ...] = (*ALL_RULES, *PROJECT_RULES)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ACTIVE_RULES}
 
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Fidelity & determinism static analysis (rules R1-R6).",
+        description="Fidelity & determinism static analysis (rules R1-R10).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -39,6 +51,10 @@ def _parser() -> argparse.ArgumentParser:
         help="record the current findings into --baseline and exit 0",
     )
     parser.add_argument(
+        "--prune", action="store_true",
+        help="drop baseline entries whose finding no longer exists, then lint",
+    )
+    parser.add_argument(
         "--select", default=None, metavar="CODES",
         help="comma-separated rule codes to run (e.g. R1,R4); default: all",
     )
@@ -50,12 +66,24 @@ def _parser() -> argparse.ArgumentParser:
         "--root", type=Path, default=Path.cwd(),
         help="paths in output/baseline keys are relative to this directory",
     )
+    parser.add_argument(
+        "--mirrors", type=Path, default=None, metavar="FILE",
+        help="R10 mirror manifest (default: ROOT/mirror-manifest.json)",
+    )
+    parser.add_argument(
+        "--update-mirrors", action="store_true",
+        help="re-record every mirror fingerprint into the manifest and exit",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="on-disk symbol-table cache (default: $REPRO_ANALYSIS_CACHE_DIR)",
+    )
     return parser
 
 
 def _select_rules(selection: Optional[str]) -> Sequence[Rule]:
     if selection is None:
-        return ALL_RULES
+        return ACTIVE_RULES
     rules: List[Rule] = []
     for code in selection.split(","):
         code = code.strip().upper()
@@ -66,6 +94,24 @@ def _select_rules(selection: Optional[str]) -> Sequence[Rule]:
             )
         rules.append(RULES_BY_CODE[code])
     return rules
+
+
+def _update_mirrors(paths: Sequence[Path], root: Path, manifest: Path) -> int:
+    from repro.analysis.mirrors import MirrorTagError, scan_mirrors, write_manifest
+    from repro.analysis.symbols import build_project
+
+    project = build_project(paths, root=root)
+    try:
+        tags = scan_mirrors(project)
+    except MirrorTagError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    write_manifest(manifest, tags)
+    sides = sum(len(s) for s in tags.values())
+    print(
+        f"recorded {len(tags)} mirror(s) / {sides} side(s) to {manifest}"
+    )
+    return 0
 
 
 def summarize(
@@ -106,17 +152,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in ACTIVE_RULES:
             print(f"{rule.code}  {rule.name:<18} {rule.description}")
         return 0
 
     if args.write_baseline and args.baseline is None:
         parser.error("--write-baseline requires --baseline FILE")
+    if args.prune and args.baseline is None:
+        parser.error("--prune requires --baseline FILE")
+
+    paths = [Path(p) for p in args.paths]
+
+    if args.update_mirrors:
+        manifest = args.mirrors
+        if manifest is None:
+            manifest = args.root / "mirror-manifest.json"
+        return _update_mirrors(paths, args.root, manifest)
+
+    if args.prune:
+        removed = prune_baseline(args.baseline, args.root)
+        if removed:
+            print(
+                f"pruned {len(removed)} stale baseline entr"
+                f"{'y' if len(removed) == 1 else 'ies'} from {args.baseline}"
+            )
 
     rules = _select_rules(args.select)
-    paths = [Path(p) for p in args.paths]
     try:
-        findings = run_analysis(paths, rules=rules, root=args.root)
+        findings = run_analysis(
+            paths,
+            rules=rules,
+            root=args.root,
+            mirrors=args.mirrors,
+            cache_dir=args.cache_dir,
+        )
     except (FileNotFoundError, SyntaxError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -129,6 +198,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     accepted = load_baseline(args.baseline) if args.baseline else set()
+    if accepted and not args.prune:
+        stale = stale_entries(accepted, args.root)
+        if stale:
+            print(
+                f"warning: {len(stale)} baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} no longer match any "
+                "source line; run with --prune to drop them",
+                file=sys.stderr,
+            )
     new, baselined = split_by_baseline(findings, accepted)
 
     for finding in new:

@@ -115,16 +115,30 @@ def run_analysis(
     paths: Sequence[Path],
     rules: Optional[Sequence["Rule"]] = None,
     root: Optional[Path] = None,
+    mirrors: Optional[Path] = None,
+    cache_dir: Optional[Path] = None,
 ) -> List[Finding]:
     """Lint every Python file under ``paths``; returns all findings.
 
+    Runs in two passes: the per-module rules (R1–R7) file by file, then —
+    if any project rule is selected — the inter-procedural pass (R8–R10)
+    over the whole file set at once, via the project symbol table.
+
     ``root`` controls how paths are displayed/keyed (relative to it when
-    given), which keeps baseline keys machine-independent.
+    given), which keeps baseline keys machine-independent. ``mirrors`` is
+    the R10 manifest; it defaults to ``root/mirror-manifest.json`` when
+    that file exists. ``cache_dir`` enables the on-disk symbol-table cache
+    (see :func:`repro.analysis.symbols.build_project`).
     """
+    from repro.analysis.project_rules import PROJECT_RULES, ProjectRule
+
     if rules is None:
         from repro.analysis.rules import ALL_RULES
 
-        rules = ALL_RULES
+        rules = (*ALL_RULES, *PROJECT_RULES)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
     findings: List[Finding] = []
     for file_path in iter_python_files(paths):
         display = file_path
@@ -134,6 +148,23 @@ def run_analysis(
             except ValueError:
                 display = file_path
         module = parse_module(file_path, display.as_posix())
-        findings.extend(check_module(module, rules))
+        findings.extend(check_module(module, module_rules))
+
+    if project_rules:
+        from repro.analysis.symbols import build_project
+
+        project = build_project(paths, root=root, cache_dir=cache_dir)
+        if mirrors is None and root is not None:
+            default_manifest = root / "mirror-manifest.json"
+            if default_manifest.is_file():
+                mirrors = default_manifest
+        project.mirror_manifest_path = mirrors
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                owner = project.module_for_path(finding.path)
+                if owner is not None and owner.is_suppressed(finding):
+                    continue
+                findings.append(finding)
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

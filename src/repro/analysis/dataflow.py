@@ -1,0 +1,319 @@
+"""Seed-provenance dataflow over the call graph (R8's engine).
+
+:func:`classify_seed_expr` answers one question about an expression that
+feeds an RNG: *where does this value originate?* It walks assignments
+inside the enclosing function, follows parameters backwards through every
+recorded call site (depth-limited, cycle-guarded), chases module constants
+across imports, and looks through thin wrapper functions via their
+``return`` expressions. The result is a set of :data:`Origin` labels:
+
+- ``derived`` — a ``derive_seed``/``make_rng`` call (the approved root),
+- ``literal`` — an explicit numeric literal,
+- ``config`` — a seed-named parameter/attribute with no visible caller
+  (an explicit configuration seed, per the paper's determinism contract),
+- ``bad:<source>`` — a forbidden entropy source (``hash()``, wall clock,
+  OS entropy, ``id()``, uuid/secrets) anywhere in the flow,
+- ``unknown`` — the analysis cannot see further.
+
+The rule layer flags any ``bad:*`` origin, and flags flows whose origin
+set contains *no* approved label at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, argument_for_param
+from repro.analysis.symbols import FunctionInfo, Project
+
+Origin = str
+
+#: Functions whose result is an approved seed/RNG root, matched on the
+#: final path component so the rule works on any package layout.
+APPROVED_TERMINALS = frozenset({"derive_seed", "make_rng"})
+
+#: Qualified names that must never feed a seed (label shown in findings).
+FORBIDDEN_SOURCES = {
+    "time.time": "wall clock (time.time)",
+    "time.time_ns": "wall clock (time.time_ns)",
+    "time.monotonic": "wall clock (time.monotonic)",
+    "time.monotonic_ns": "wall clock (time.monotonic_ns)",
+    "time.perf_counter": "wall clock (time.perf_counter)",
+    "os.urandom": "OS entropy (os.urandom)",
+    "os.getrandom": "OS entropy (os.getrandom)",
+    "os.getpid": "process id (os.getpid)",
+    "uuid.uuid1": "uuid.uuid1 (host/time entropy)",
+    "uuid.uuid4": "uuid.uuid4 (OS entropy)",
+    "secrets.token_bytes": "secrets (OS entropy)",
+    "secrets.token_hex": "secrets (OS entropy)",
+    "secrets.randbits": "secrets (OS entropy)",
+    "random.SystemRandom": "os-entropy RNG (random.SystemRandom)",
+}
+
+#: Unresolvable bare names that are forbidden builtins.
+_FORBIDDEN_BUILTINS = {
+    "hash": "builtin hash() (salted per process by PYTHONHASHSEED)",
+    "id": "builtin id() (address-dependent)",
+}
+
+_MAX_DEPTH = 6
+
+
+def is_seed_name(name: str) -> bool:
+    """Does ``name`` declare itself a seed (``seed``, ``base_seed``, ...)?"""
+    lowered = name.lower()
+    return (
+        lowered == "seed"
+        or lowered.endswith("_seed")
+        or lowered.startswith("seed")
+    )
+
+
+def classify_seed_expr(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scope: Optional[FunctionInfo],
+    expr: ast.expr,
+    depth: int = _MAX_DEPTH,
+    stack: FrozenSet[Tuple[str, str]] = frozenset(),
+) -> Set[Origin]:
+    """Origin labels for ``expr`` evaluated in ``scope`` of ``module``."""
+    if depth <= 0:
+        return {"unknown"}
+
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return {"unknown"}
+        if isinstance(expr.value, (int, float, str, bytes)):
+            return {"literal"}
+        return {"unknown"}
+
+    if isinstance(expr, ast.Name):
+        return _classify_name(
+            project, graph, module, scope, expr.id, depth, stack
+        )
+
+    if isinstance(expr, ast.Attribute):
+        if is_seed_name(expr.attr):
+            return {"config"}
+        dotted = _dotted(expr)
+        if dotted is not None:
+            resolved = project.resolve(module, dotted)
+            if resolved is not None and resolved in project.constants:
+                return classify_seed_expr(
+                    project, graph, _module_of(project, resolved), None,
+                    project.constants[resolved], depth - 1, stack,
+                )
+        return {"unknown"}
+
+    if isinstance(expr, ast.Call):
+        return _classify_call(project, graph, module, scope, expr, depth, stack)
+
+    if isinstance(expr, ast.BinOp):
+        return classify_seed_expr(
+            project, graph, module, scope, expr.left, depth - 1, stack
+        ) | classify_seed_expr(
+            project, graph, module, scope, expr.right, depth - 1, stack
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return classify_seed_expr(
+            project, graph, module, scope, expr.operand, depth - 1, stack
+        )
+    if isinstance(expr, ast.IfExp):
+        return classify_seed_expr(
+            project, graph, module, scope, expr.body, depth - 1, stack
+        ) | classify_seed_expr(
+            project, graph, module, scope, expr.orelse, depth - 1, stack
+        )
+    if isinstance(expr, (ast.BoolOp, ast.JoinedStr)):
+        out: Set[Origin] = set()
+        values = expr.values
+        for value in values:
+            out |= classify_seed_expr(
+                project, graph, module, scope, value, depth - 1, stack
+            )
+        return out or {"unknown"}
+
+    return {"unknown"}
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    current = expr
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_of(project: Project, qname: str) -> str:
+    """Module a qualified constant/function name belongs to."""
+    candidate = qname
+    while candidate and candidate not in project.modules:
+        if "." not in candidate:
+            return qname.rsplit(".", 1)[0]
+        candidate = candidate.rsplit(".", 1)[0]
+    return candidate or qname
+
+
+def _assignments_to(
+    scope: FunctionInfo, name: str
+) -> Tuple[ast.expr, ...]:
+    """Value expressions assigned to ``name`` inside ``scope`` itself.
+
+    Nested function bodies are excluded — they are separate scopes.
+    """
+    values: List[ast.expr] = []
+    root = scope.node
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        values.append(child.value)
+            elif isinstance(child, ast.AnnAssign):
+                if (
+                    isinstance(child.target, ast.Name)
+                    and child.target.id == name
+                    and child.value is not None
+                ):
+                    values.append(child.value)
+            visit(child)
+
+    visit(root)
+    return tuple(values)
+
+
+def _classify_name(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scope: Optional[FunctionInfo],
+    name: str,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Origin]:
+    if scope is not None:
+        values = _assignments_to(scope, name)
+        if values:
+            out: Set[Origin] = set()
+            for value in values:
+                out |= classify_seed_expr(
+                    project, graph, module, scope, value, depth - 1, stack
+                )
+            return out
+        if name in scope.params:
+            key = (scope.qname, name)
+            if key in stack:
+                return {"unknown"}
+            sites = graph.callers_of.get(scope.qname, [])
+            if not sites:
+                return {"config"} if is_seed_name(name) else {"unknown"}
+            from_callers: Set[Origin] = set()
+            for site in sites:
+                argument = argument_for_param(site, scope, name)
+                if argument is None:
+                    # Default value / forwarded binding: approve seed-named
+                    # defaults, otherwise opaque.
+                    from_callers |= (
+                        {"config"} if is_seed_name(name) else {"unknown"}
+                    )
+                    continue
+                caller_scope = project.functions.get(site.caller)
+                from_callers |= classify_seed_expr(
+                    project, graph, site.module, caller_scope, argument,
+                    depth - 1, stack | {key},
+                )
+            return from_callers
+    resolved = project.resolve(module, name)
+    if resolved is not None and resolved in project.constants:
+        return classify_seed_expr(
+            project, graph, _module_of(project, resolved), None,
+            project.constants[resolved], depth - 1, stack,
+        )
+    return {"config"} if is_seed_name(name) else {"unknown"}
+
+
+def _classify_call(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scope: Optional[FunctionInfo],
+    call: ast.Call,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Origin]:
+    info = scope
+    self_class = info.class_name if info is not None else None
+    callee = project.resolve_call(module, call.func, self_class)
+    if callee is None:
+        if isinstance(call.func, ast.Name):
+            label = _FORBIDDEN_BUILTINS.get(call.func.id)
+            if label is not None:
+                return {f"bad:{label}"}
+        # Opaque target (builtin like int(), or unscanned library): the
+        # value is unknown, but entropy fed *into* it still taints it.
+        return {"unknown"} | _bad_in_args(
+            project, graph, module, scope, call, depth, stack
+        )
+    if callee in FORBIDDEN_SOURCES:
+        return {f"bad:{FORBIDDEN_SOURCES[callee]}"}
+    if callee.rsplit(".", 1)[-1] in APPROVED_TERMINALS:
+        # Approved root — but entropy laundered *into* it still taints.
+        derived: Set[Origin] = {"derived"}
+        for argument in (*call.args, *[k.value for k in call.keywords]):
+            origins = classify_seed_expr(
+                project, graph, module, scope, argument, depth - 1, stack
+            )
+            derived |= {o for o in origins if o.startswith("bad:")}
+        return derived
+    if callee in project.classes:
+        return {"unknown"}  # constructing a project class: opaque value
+    target = project.functions.get(callee)
+    if target is not None:
+        returns = [
+            node.value
+            for node in ast.walk(target.node)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        if not returns:
+            return {"unknown"}
+        out: Set[Origin] = set()
+        for value in returns:
+            out |= classify_seed_expr(
+                project, graph, target.module, target, value, depth - 1, stack
+            )
+        return out
+    return {"unknown"} | _bad_in_args(
+        project, graph, module, scope, call, depth, stack
+    )
+
+
+def _bad_in_args(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scope: Optional[FunctionInfo],
+    call: ast.Call,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Origin]:
+    """``bad:*`` labels among a call's argument expressions."""
+    tainted: Set[Origin] = set()
+    for argument in (*call.args, *[k.value for k in call.keywords]):
+        origins = classify_seed_expr(
+            project, graph, module, scope, argument, depth - 1, stack
+        )
+        tainted |= {o for o in origins if o.startswith("bad:")}
+    return tainted

@@ -1,0 +1,258 @@
+"""Mirror tags and the drift manifest (R10's machinery).
+
+The replay engine deliberately implements the same semantics twice: the
+allocation-free kernel (:mod:`repro.core_model.replay_kernel`) re-states
+the object path of :mod:`repro.uncore.hierarchy` and the bandit step loop
+of :mod:`repro.experiments.prefetch`. Each such pair is declared in the
+source with ``repro: mirror`` comment tags carrying the mirror's name in
+square brackets:
+
+- on (or directly above) a ``def`` line — the tagged region is that whole
+  function, fingerprinted over its AST (whitespace/comment-insensitive);
+- as a ``begin``/``end`` tag pair — the tagged region is the statements
+  in between, fingerprinted over their token stream (comments and blank
+  lines stripped).
+
+``mirror-manifest.json`` records the fingerprint of both sides of every
+mirror. R10 compares the current tree against the manifest: a mirror
+whose sides drift *apart* (one fingerprint changed, the other did not) is
+a hard finding — the paired edit was forgotten. A mirror whose sides both
+changed asks for re-verification (``REPRO_SANITIZE=1``) and a manifest
+refresh (``--update-mirrors``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import ParsedModule
+from repro.analysis.symbols import Project, iter_scopes
+
+MANIFEST_VERSION = 1
+
+#: Default manifest file name, looked up next to the analysis root.
+MANIFEST_NAME = "mirror-manifest.json"
+
+_MIRROR_RE = re.compile(
+    r"#\s*repro:\s*mirror\[([A-Za-z0-9_.\-]+)\]\s*(begin|end)?"
+)
+
+
+@dataclass(frozen=True)
+class MirrorSide:
+    """One tagged region of a mirror pair."""
+
+    mirror: str  #: mirror name from the tag
+    path: str  #: display path of the file
+    anchor: str  #: stable identity of the region inside the file
+    line: int  #: tag line (for findings)
+    fingerprint: str
+
+
+class MirrorTagError(ValueError):
+    """A malformed tag set (unbalanced begin/end, duplicate anchors)."""
+
+
+# ------------------------------------------------------------ fingerprints
+
+
+def _function_fingerprint(node: ast.AST) -> str:
+    """AST fingerprint of a def: robust to comments, formatting, docstrings."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    body = list(node.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # ignore the docstring
+    payload = ast.dump(node.args) + "|" + "|".join(
+        ast.dump(statement) for statement in body
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _region_fingerprint(source: str, first: int, last: int) -> str:
+    """Token-stream fingerprint of lines ``first..last`` (inclusive).
+
+    Comments and intra-line whitespace are dropped; INDENT/DEDENT and
+    logical newlines are kept as structural markers so re-indentation or
+    re-flowed statements *do* count as changes in meaning.
+    """
+    pieces: List[str] = []
+    reader = io.StringIO(source).readline
+    for token in tokenize.generate_tokens(reader):
+        row = token.start[0]
+        if row < first or row > last:
+            continue
+        if token.type in (tokenize.COMMENT, tokenize.NL):
+            continue
+        if token.type == tokenize.INDENT:
+            pieces.append("<indent>")
+        elif token.type == tokenize.DEDENT:
+            pieces.append("<dedent>")
+        elif token.type == tokenize.NEWLINE:
+            pieces.append("<nl>")
+        else:
+            pieces.append(token.string)
+    payload = " ".join(pieces)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------- scanning
+
+
+def _function_tags(
+    module_name: str, module: ParsedModule
+) -> List[MirrorSide]:
+    sides: List[MirrorSide] = []
+    for node, qname, _class_name in iter_scopes(module_name, module.tree):
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for line_number in (node.lineno, node.lineno - 1):
+            if not 1 <= line_number <= len(module.lines):
+                continue
+            match = _MIRROR_RE.search(module.lines[line_number - 1])
+            if match is None or match.group(2) is not None:
+                continue
+            local = qname[len(module_name) + 1:]
+            sides.append(
+                MirrorSide(
+                    mirror=match.group(1),
+                    path=module.path,
+                    anchor=f"def:{local}",
+                    line=node.lineno,
+                    fingerprint=_function_fingerprint(node),
+                )
+            )
+            break
+    return sides
+
+
+def _region_tags(
+    module_name: str, module: ParsedModule
+) -> List[MirrorSide]:
+    spans = [
+        (node.lineno, node.end_lineno or node.lineno,
+         qname[len(module_name) + 1:])
+        for node, qname, _cls in iter_scopes(module_name, module.tree)
+    ]
+
+    def enclosing(line: int) -> str:
+        best: Optional[Tuple[int, int, str]] = None
+        for span in spans:
+            if span[0] <= line <= span[1]:
+                if best is None or span[0] >= best[0]:
+                    best = span
+        return best[2] if best is not None else "<module>"
+
+    sides: List[MirrorSide] = []
+    open_regions: Dict[str, int] = {}
+    for line_number, text in enumerate(module.lines, start=1):
+        match = _MIRROR_RE.search(text)
+        if match is None or match.group(2) is None:
+            continue
+        name, kind = match.group(1), match.group(2)
+        if kind == "begin":
+            if name in open_regions:
+                raise MirrorTagError(
+                    f"{module.path}:{line_number}: nested/duplicate "
+                    f"`mirror[{name}] begin`"
+                )
+            open_regions[name] = line_number
+        else:
+            begin = open_regions.pop(name, None)
+            if begin is None:
+                raise MirrorTagError(
+                    f"{module.path}:{line_number}: `mirror[{name}] end` "
+                    "without begin"
+                )
+            sides.append(
+                MirrorSide(
+                    mirror=name,
+                    path=module.path,
+                    anchor=f"region:{enclosing(begin)}",
+                    line=begin,
+                    fingerprint=_region_fingerprint(
+                        module.source, begin + 1, line_number - 1
+                    ),
+                )
+            )
+    for name, line_number in open_regions.items():
+        raise MirrorTagError(
+            f"{module.path}:{line_number}: `mirror[{name}] begin` "
+            "without end"
+        )
+    return sides
+
+
+def scan_mirrors(project: Project) -> Dict[str, List[MirrorSide]]:
+    """All mirror tags in the project, grouped by mirror name.
+
+    Sides are sorted by (path, anchor); duplicate (path, anchor) pairs
+    within one mirror are a :class:`MirrorTagError`.
+    """
+    grouped: Dict[str, List[MirrorSide]] = {}
+    for module_name, module in sorted(project.modules.items()):
+        for side in (
+            *_function_tags(module_name, module),
+            *_region_tags(module_name, module),
+        ):
+            grouped.setdefault(side.mirror, []).append(side)
+    for name, sides in grouped.items():
+        sides.sort(key=lambda side: (side.path, side.anchor))
+        keys = [(side.path, side.anchor) for side in sides]
+        if len(set(keys)) != len(keys):
+            raise MirrorTagError(
+                f"mirror[{name}] has two tags with the same anchor; "
+                "move one side into its own function or region"
+            )
+    return grouped
+
+
+# --------------------------------------------------------------- manifest
+
+
+def load_manifest(path: Path) -> Dict[str, List[Dict[str, str]]]:
+    """Read the recorded mirror sides; raises ValueError on bad documents."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != MANIFEST_VERSION
+        or not isinstance(document.get("mirrors"), dict)
+    ):
+        raise ValueError(
+            f"mirror manifest {path} is not a version-{MANIFEST_VERSION} "
+            "{version, mirrors} document"
+        )
+    return document["mirrors"]
+
+
+def write_manifest(path: Path, tags: Dict[str, List[MirrorSide]]) -> None:
+    """Record the current fingerprints of every tagged mirror."""
+    document = {
+        "version": MANIFEST_VERSION,
+        "mirrors": {
+            name: [
+                {
+                    "path": side.path,
+                    "anchor": side.anchor,
+                    "fingerprint": side.fingerprint,
+                }
+                for side in sides
+            ]
+            for name, sides in sorted(tags.items())
+        },
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

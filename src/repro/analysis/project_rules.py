@@ -1,0 +1,378 @@
+"""Project-wide rules R8–R10, driven by the inter-procedural engine.
+
+Unlike R1–R7 (one module at a time), these rules see the whole project:
+the symbol table and call graph (:mod:`repro.analysis.symbols`,
+:mod:`repro.analysis.callgraph`), the seed dataflow classifier
+(:mod:`repro.analysis.dataflow`), and the mirror manifest
+(:mod:`repro.analysis.mirrors`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.core import Finding, ParsedModule
+from repro.analysis.dataflow import Origin, classify_seed_expr
+from repro.analysis.mirrors import (
+    MirrorSide,
+    MirrorTagError,
+    load_manifest,
+    scan_mirrors,
+)
+from repro.analysis.rules import Rule
+from repro.analysis.symbols import Project
+from repro.constants import DISTINCTIVE_PAPER_VALUES
+
+
+class ProjectRule(Rule):
+    """A rule that checks the whole project instead of one module.
+
+    ``check`` (the per-module entry point) is a no-op; the engine calls
+    :meth:`check_project` once after the symbol table is built.
+    """
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _finding(
+    module: ParsedModule, rule: str, node: ast.AST, message: str
+) -> Finding:
+    return module.finding(rule, node, message)
+
+
+# ------------------------------------------------------------------ R8
+
+
+#: RNG constructors whose seed argument R8 traces. Matched on the resolved
+#: qualified name.
+_RNG_CONSTRUCTORS = ("random.Random",)
+_RNG_CONSTRUCTOR_SUFFIXES = (".default_rng",)
+
+#: Approved-root calls whose *arguments* are still checked for entropy.
+_SEED_DERIVERS = ("derive_seed", "make_rng")
+
+
+class SeedProvenanceRule(ProjectRule):
+    """R8: every RNG seed must trace back to derive_seed or a config seed.
+
+    For each ``random.Random(seed)`` / ``numpy.random.default_rng(seed)``
+    construction — and each ``derive_seed``/``make_rng`` call — the seed
+    expression is classified through assignments, parameters (followed to
+    every caller through the call graph), module constants, and wrapper
+    returns. Forbidden entropy (``hash()``, wall clock, ``os.urandom``,
+    ``os.getpid``, ``id()``, uuid/secrets) anywhere in the flow is a
+    finding, as is a flow with no approved origin at all.
+    """
+
+    code = "R8"
+    name = "seed-provenance"
+    description = "RNG seeds not traceable to derive_seed/config (dataflow)"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_callgraph(project)
+        for site in graph.sites:
+            callee = site.callee
+            if callee is None:
+                continue
+            module = project.modules[site.module]
+            if callee == "random.SystemRandom" or callee.endswith(
+                ".SystemRandom"
+            ):
+                yield _finding(
+                    module, self.code, site.node,
+                    "`random.SystemRandom` draws OS entropy; simulations "
+                    "must use seeded `random.Random` streams",
+                )
+                continue
+            is_ctor = callee in _RNG_CONSTRUCTORS or callee.endswith(
+                _RNG_CONSTRUCTOR_SUFFIXES
+            )
+            is_deriver = callee.rsplit(".", 1)[-1] in _SEED_DERIVERS
+            if not is_ctor and not is_deriver:
+                continue
+            seed_args = [
+                *site.node.args,
+                *[kw.value for kw in site.node.keywords],
+            ]
+            if is_ctor and not seed_args:
+                continue  # unseeded construction is R1's finding
+            scope = project.functions.get(site.caller)
+            for argument in seed_args:
+                origins = classify_seed_expr(
+                    project, graph, site.module, scope, argument
+                )
+                yield from self._judge(
+                    module, site.node, callee, origins, is_deriver
+                )
+
+    def _judge(
+        self,
+        module: ParsedModule,
+        node: ast.Call,
+        callee: str,
+        origins: Set[Origin],
+        is_deriver: bool,
+    ) -> Iterator[Finding]:
+        bad = sorted(o[4:] for o in origins if o.startswith("bad:"))
+        target = callee.rsplit(".", 1)[-1]
+        if bad:
+            yield _finding(
+                module, self.code, node,
+                f"seed flowing into `{target}(...)` comes from "
+                f"{'; '.join(bad)}; derive it via "
+                "repro.util.rng.derive_seed from a config seed",
+            )
+            return
+        if is_deriver:
+            return  # approved root; only tainted arguments matter
+        if not origins & {"derived", "literal", "config"}:
+            yield _finding(
+                module, self.code, node,
+                f"seed of `{target}(...)` cannot be traced to "
+                "repro.util.rng.derive_seed, a literal, or a config seed "
+                "through any caller; thread an explicit seed through",
+            )
+
+
+# ------------------------------------------------------------------ R9
+
+
+class ConstantProvenanceRule(ProjectRule):
+    """R9: distinctive Table 6/7 values must come from repro.constants.
+
+    Complements R2 (which matches ``name=value`` bindings): R9 flags the
+    *value itself* — any numeric literal equal to a distinctive paper
+    constant, anywhere outside ``repro/constants.py``, including values
+    re-derived arithmetically from literals (``1 - 0.001``) or bound to a
+    local alias first. Workload-generator modules are exempt: their small
+    physical fractions (branch rates etc.) collide with the Table 6
+    bandit constants without sharing their meaning.
+    """
+
+    code = "R9"
+    name = "constant-provenance"
+    description = "distinctive Table 6/7 literals re-derived outside constants"
+
+    _EXEMPT_FRAGMENTS = ("constants.py", "workloads/")
+
+    def __init__(
+        self, registry: Optional[Dict[float, str]] = None
+    ) -> None:
+        self.registry = (
+            DISTINCTIVE_PAPER_VALUES if registry is None else registry
+        )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules.values():
+            if any(f in module.path for f in self._EXEMPT_FRAGMENTS):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        seen: Set[int] = set()
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                folded = _fold_numeric(child)
+                if folded is not None:
+                    name = self.registry.get(folded)
+                    if name is not None and id(child) not in seen:
+                        seen.add(id(child))
+                        yield _finding(
+                            module, self.code, child,
+                            f"value {folded!r} re-derives paper constant "
+                            f"{name}; import it from repro.constants",
+                        )
+                        continue  # the match covers its sub-expressions
+                yield from visit(child)
+
+        yield from visit(module.tree)
+
+
+def _fold_numeric(node: ast.AST) -> Optional[Union[int, float]]:
+    """Constant-fold a literal-only numeric expression, else ``None``."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return value
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        operand = _fold_numeric(node.operand)
+        if operand is None:
+            return None
+        return -operand if isinstance(node.op, ast.USub) else operand
+    if isinstance(node, ast.BinOp):
+        left = _fold_numeric(node.left)
+        right = _fold_numeric(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            if isinstance(node.op, ast.Pow):
+                return left ** right
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+# ------------------------------------------------------------------ R10
+
+
+class MirrorDriftRule(ProjectRule):
+    """R10: mirrored kernel/object-path regions must change together.
+
+    Tagged regions (see :mod:`repro.analysis.mirrors`) are fingerprinted
+    and compared against ``mirror-manifest.json``. One side drifting from
+    its recorded fingerprint while the other stays put means a paired
+    edit was forgotten — the replay kernel and the object path no longer
+    implement the same semantics.
+    """
+
+    code = "R10"
+    name = "mirror-drift"
+    description = "kernel/object-path mirror regions drifting apart"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        try:
+            tags = scan_mirrors(project)
+        except MirrorTagError as error:
+            yield self._file_finding(
+                project, str(error).split(":", 1)[0], 1,
+                f"malformed mirror tags: {error}",
+            )
+            return
+        for name, sides in sorted(tags.items()):
+            if len(sides) != 2:
+                yield self._side_finding(
+                    project, sides[0],
+                    f"mirror[{name}] is tagged on {len(sides)} region(s); "
+                    "a mirror pairs exactly 2 (kernel side + object side)",
+                )
+        manifest = self._load(project)
+        if manifest is None:
+            for name, sides in sorted(tags.items()):
+                yield self._side_finding(
+                    project, sides[0],
+                    f"mirror[{name}] has no recorded manifest; run "
+                    "`python -m repro.analysis --update-mirrors`",
+                )
+            return
+        yield from self._compare(project, tags, manifest)
+
+    # ------------------------------------------------------------- helpers
+
+    def _load(
+        self, project: Project
+    ) -> Optional[Dict[str, List[Dict[str, str]]]]:
+        path = project.mirror_manifest_path
+        if path is None or not path.is_file():
+            return None
+        return load_manifest(path)
+
+    def _compare(
+        self,
+        project: Project,
+        tags: Dict[str, List[MirrorSide]],
+        manifest: Dict[str, List[Dict[str, str]]],
+    ) -> Iterator[Finding]:
+        for name in sorted(set(tags) | set(manifest)):
+            sides = tags.get(name)
+            recorded = manifest.get(name)
+            if sides is None and recorded is not None:
+                yield self._file_finding(
+                    project, recorded[0].get("path", "<unknown>"), 1,
+                    f"mirror[{name}] is recorded in the manifest but no "
+                    "longer tagged in the source; re-tag it or run "
+                    "--update-mirrors",
+                )
+                continue
+            if sides is not None and recorded is None:
+                yield self._side_finding(
+                    project, sides[0],
+                    f"mirror[{name}] is tagged but not recorded; run "
+                    "`python -m repro.analysis --update-mirrors`",
+                )
+                continue
+            assert sides is not None and recorded is not None
+            by_anchor = {
+                (entry["path"], entry["anchor"]): entry["fingerprint"]
+                for entry in recorded
+            }
+            current = {(s.path, s.anchor): s for s in sides}
+            if set(by_anchor) != set(current):
+                yield self._side_finding(
+                    project, sides[0],
+                    f"mirror[{name}]'s tagged regions moved (anchors "
+                    "changed); re-record with --update-mirrors",
+                )
+                continue
+            changed = [
+                side for key, side in sorted(current.items())
+                if side.fingerprint != by_anchor[key]
+            ]
+            unchanged = [
+                side for key, side in sorted(current.items())
+                if side.fingerprint == by_anchor[key]
+            ]
+            if len(changed) == 1 and unchanged:
+                other = unchanged[0]
+                yield self._side_finding(
+                    project, changed[0],
+                    f"mirror[{name}] changed on one side only; its "
+                    f"counterpart at {other.path} ({other.anchor}) is "
+                    "untouched — apply the paired edit, verify with "
+                    "REPRO_SANITIZE=1, then re-record with "
+                    "--update-mirrors",
+                )
+            elif len(changed) >= 2:
+                yield self._side_finding(
+                    project, changed[0],
+                    f"both sides of mirror[{name}] changed; verify "
+                    "equivalence with REPRO_SANITIZE=1, then re-record "
+                    "with --update-mirrors",
+                )
+
+    def _side_finding(
+        self, project: Project, side: MirrorSide, message: str
+    ) -> Finding:
+        module = project.module_for_path(side.path)
+        if module is not None:
+            line = side.line
+            text = (
+                module.lines[line - 1].strip()
+                if line <= len(module.lines) else ""
+            )
+            return Finding(self.code, side.path, line, 0, message, text)
+        return Finding(self.code, side.path, side.line, 0, message, "")
+
+    def _file_finding(
+        self, project: Project, path: str, line: int, message: str
+    ) -> Finding:
+        module = project.module_for_path(path)
+        text = ""
+        if module is not None and line <= len(module.lines):
+            text = module.lines[line - 1].strip()
+        return Finding(self.code, path, line, 0, message, text)
+
+
+#: Project-rule instances, in code order (appended to ALL_RULES).
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    SeedProvenanceRule(),
+    ConstantProvenanceRule(),
+    MirrorDriftRule(),
+)

@@ -1,8 +1,12 @@
-"""The repo-specific rule set R1–R6 of the fidelity linter.
+"""The per-module rule set R1–R7 of the fidelity linter.
 
 Each rule is a small AST pass over one :class:`~repro.analysis.core.ParsedModule`.
 Rules never execute the code under analysis; everything here is derived
 from the syntax tree plus the import table of the module.
+
+The project-wide rules R8–R10 (seed provenance, constant provenance,
+mirror drift) live in :mod:`repro.analysis.project_rules`; they subclass
+:class:`Rule` but run over the whole project symbol table at once.
 """
 
 from __future__ import annotations
@@ -617,6 +621,13 @@ class HotLoopRule(Rule):
                         "iteration; use parallel scalar lists (compiled-"
                         "trace style) or hoist the allocation",
                     )
+                elif self._is_ctor_comprehension(node):
+                    yield module.finding(
+                        self.code, node,
+                        "hot loop builds a comprehension of constructed "
+                        "objects every iteration; hoist it out of the loop "
+                        "or switch to parallel scalar lists",
+                    )
         # A chain is only hoistable when its root name is loop-invariant:
         # names assigned inside the body (per-iteration objects like a
         # just-evicted line) are excluded.
@@ -660,6 +671,21 @@ class HotLoopRule(Rule):
             and arg.func.id[:1].isupper()
         )
 
+    @staticmethod
+    def _is_ctor_comprehension(node: ast.AST) -> bool:
+        """A comprehension whose element is a class construction."""
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            element: ast.expr = node.elt
+        elif isinstance(node, ast.DictComp):
+            element = node.value
+        else:
+            return False
+        return (
+            isinstance(element, ast.Call)
+            and isinstance(element.func, ast.Name)
+            and element.func.id[:1].isupper()
+        )
+
     def _attribute_paths(
         self, body: List[ast.stmt]
     ) -> Dict[str, List[ast.Attribute]]:
@@ -691,7 +717,8 @@ class HotLoopRule(Rule):
         return None
 
 
-#: The default rule set, in code order.
+#: The per-module rules, in code order. The engine and CLI append the
+#: project-wide rules from :mod:`repro.analysis.project_rules`.
 ALL_RULES: Tuple[Rule, ...] = (
     DeterminismRule(),
     PaperConstantRule(),

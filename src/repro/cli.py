@@ -249,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--profile", action="store_true",
                          help="run under cProfile; writes <cache-dir>/"
                               "profiles/<command>.prof and a JSON summary")
+        cmd.add_argument("--sanitize", action="store_true",
+                         help="replay every compiled-kernel run through the "
+                              "object path too and assert step-by-step "
+                              "equivalence (same as REPRO_SANITIZE=1); "
+                              "combine with --no-cache so cached results "
+                              "don't skip the replays")
         if name == "traces":
             cmd.add_argument("--output-dir", default="traces",
                              help="directory to write .trace.gz files into")
@@ -263,6 +269,10 @@ def main(argv=None) -> int:
         for name in COMMANDS:
             print(f"  {name}")
         return 0
+    if args.sanitize:
+        from repro.core_model.sanitizer import SANITIZE_ENV
+
+        os.environ[SANITIZE_ENV] = "1"
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if cache is not None and not os.environ.get(TRACE_CACHE_ENV):
         # Share compiled traces on disk alongside the result cache (workers

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
 _INF = float("inf")
 
 
+# repro: mirror[demand-path]
 def run_replay_kernel(  # repro: hot
     core: "TraceCore",
     pcs: List[int],
@@ -140,6 +141,7 @@ def run_replay_kernel(  # repro: hot
     # touch are shared cells (``nonlocal``). Bodies mirror CacheHierarchy's
     # _fill_l2/_fill_llc (including CacheLine recycling on eviction).
 
+    # repro: mirror[fill-llc]
     def fill_llc(block: int, prefetched: bool, dirty: bool) -> None:
         nonlocal llc_stamp, llc_resident, writebacks
         nonlocal dram_channel_free, dram_writeback_count
@@ -174,6 +176,7 @@ def run_replay_kernel(  # repro: hot
                                          False, dirty)
             llc_resident += 1
 
+    # repro: mirror[fill-l2]
     def fill_l2(block: int, prefetched: bool, dirty: bool) -> None:
         nonlocal l2_stamp, l2_resident, pf_wrong
         cache_set = l2_sets[block % l2_num_sets]

@@ -1,0 +1,183 @@
+"""Runtime equivalence sanitizer for the dual replay paths.
+
+The replay engine keeps two implementations of the same semantics: the
+allocation-free fused kernel (:mod:`repro.core_model.replay_kernel`) and
+the object path (``TraceCore.execute`` + ``CacheHierarchy``). The static
+side of that contract is rule R10 (mirror drift); this module is the
+dynamic side: with ``REPRO_SANITIZE=1`` (or ``--sanitize`` on the
+experiment CLI), every compiled-trace replay also runs the same trace
+through the object path on a shadow copy of the stack and asserts
+step-by-step equality — per-checkpoint instruction counts, cycles, IPC
+and L2 demand accesses, and (for bandit runs) the per-step arm choices
+and DUCB state. The first divergence aborts the run with a report naming
+the step, the field, and both values.
+
+This is a debugging/verification mode: it replays every trace twice and
+checkpoints frequently, so expect roughly 2-3x the runtime. Run it after
+touching any ``repro: mirror``-tagged region, then refresh the manifest
+with ``python -m repro.analysis --update-mirrors``.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core_model.trace_core import TraceCore
+    from repro.workloads.compiled import CompiledTrace
+
+#: Environment variable that switches the sanitizer on globally.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Target number of mid-run checkpoints per hook-free sanitized replay.
+_CHECKPOINTS = 64
+
+
+def sanitize_enabled() -> bool:
+    """Is ``REPRO_SANITIZE`` set to a truthy value?"""
+    value = os.environ.get(SANITIZE_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One comparison checkpoint from either replay path.
+
+    For hook-free replays ``step`` counts records; for bandit runs it
+    counts bandit steps (with ``-1`` marking the post-flush final state).
+    The bandit-only fields stay ``None`` in hook-free replays.
+    """
+
+    step: int
+    instructions: int
+    cycles: float
+    ipc: float
+    l2_demand_accesses: int
+    arm: Optional[int] = None
+    reward_estimates: Optional[Tuple[float, ...]] = None
+    selection_counts: Optional[Tuple[float, ...]] = None
+
+
+class SanitizeDivergence(AssertionError):
+    """The two replay paths disagreed; carries the first divergence."""
+
+    def __init__(
+        self,
+        context: str,
+        step: int,
+        field_name: str,
+        kernel_value: object,
+        object_value: object,
+    ) -> None:
+        self.context = context
+        self.step = step
+        self.field_name = field_name
+        self.kernel_value = kernel_value
+        self.object_value = object_value
+        super().__init__(
+            f"sanitize[{context}]: replay paths diverged at step {step}, "
+            f"field {field_name!r}: kernel path produced "
+            f"{kernel_value!r}, object path produced {object_value!r}"
+        )
+
+
+def compare_step_logs(
+    kernel_log: List[StepRecord],
+    object_log: List[StepRecord],
+    context: str,
+) -> None:
+    """Raise :class:`SanitizeDivergence` at the first differing field."""
+    for kernel_step, object_step in zip(kernel_log, object_log):
+        for record_field in fields(StepRecord):
+            kernel_value = getattr(kernel_step, record_field.name)
+            object_value = getattr(object_step, record_field.name)
+            if kernel_value != object_value:
+                raise SanitizeDivergence(
+                    context, kernel_step.step, record_field.name,
+                    kernel_value, object_value,
+                )
+    if len(kernel_log) != len(object_log):
+        raise SanitizeDivergence(
+            context, min(len(kernel_log), len(object_log)),
+            "checkpoint count", len(kernel_log), len(object_log),
+        )
+
+
+def snapshot(step: int, core: "TraceCore") -> StepRecord:
+    """Checkpoint the core-visible state both paths must agree on."""
+    return StepRecord(
+        step=step,
+        instructions=core.instructions,
+        cycles=core.retire_time,
+        ipc=core.ipc,
+        l2_demand_accesses=core.hierarchy.stats.l2_demand_accesses,
+    )
+
+
+def _compare_stats(
+    kernel_core: "TraceCore", object_core: "TraceCore", context: str
+) -> None:
+    """Final hierarchy-stats comparison, field by field."""
+    kernel_stats = kernel_core.hierarchy.stats
+    object_stats = object_core.hierarchy.stats
+    for stats_field in fields(kernel_stats):
+        kernel_value = getattr(kernel_stats, stats_field.name)
+        object_value = getattr(object_stats, stats_field.name)
+        if kernel_value != object_value:
+            raise SanitizeDivergence(
+                context, -1, f"stats.{stats_field.name}",
+                kernel_value, object_value,
+            )
+
+
+def run_sanitized_replay(
+    core: "TraceCore",
+    trace: "CompiledTrace",
+    max_records: Optional[int] = None,
+    shadow: Optional["TraceCore"] = None,
+) -> None:
+    """Replay ``trace`` on ``core`` (kernel) and ``shadow`` (object path).
+
+    ``shadow`` must be an independent but identically configured stack;
+    when ``None`` it is deep-copied from ``core`` before the replay (which
+    is correct for self-contained stacks, but callers whose prefetchers
+    close over external state — e.g. Pythia's bandwidth probe — must build
+    and pass their own shadow).
+    """
+    if shadow is None:
+        shadow = copy.deepcopy(core)
+
+    total = len(trace)
+    if max_records is not None and max_records < total:
+        total = max_records
+    stride = max(1, total // _CHECKPOINTS)
+
+    kernel_log: List[StepRecord] = []
+    seen = 0
+
+    def checkpoint_hook(hook_core: "TraceCore") -> None:
+        nonlocal seen
+        seen += 1
+        if seen % stride == 0 or seen == total:
+            kernel_log.append(snapshot(seen, hook_core))
+
+    core.run_compiled(
+        trace, max_records=max_records, record_hook=checkpoint_hook,
+        sanitize=False,
+    )
+
+    object_log: List[StepRecord] = []
+    replayed = 0
+    for record in trace.to_records():
+        if replayed >= total:
+            break
+        shadow.execute(record)
+        replayed += 1
+        if replayed % stride == 0 or replayed == total:
+            object_log.append(snapshot(replayed, shadow))
+
+    compare_step_logs(kernel_log, object_log, context="run_compiled")
+    _compare_stats(core, shadow, context="run_compiled")

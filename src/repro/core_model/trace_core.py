@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Iterable, Optional, Tuple
 
 from repro.bandit.rewards import PerformanceCounters
 from repro.core_model.replay_kernel import run_replay_kernel
+from repro.core_model.sanitizer import sanitize_enabled
 from repro.uncore.cache import Cache
 from repro.uncore.hierarchy import CacheHierarchy
 from repro.workloads.trace import BLOCK_SHIFT, TraceRecord
@@ -89,6 +90,7 @@ class TraceCore:
             cycles=self.retire_time,
         )
 
+    # repro: mirror[core-step]
     def execute(self, record: TraceRecord) -> None:
         """Advance the core over ``record`` and its preceding plain instructions."""
         gap = record.inst_gap
@@ -120,11 +122,14 @@ class TraceCore:
                 break
             self.execute(record)
 
+    # repro: mirror[core-step]
     def run_compiled(  # repro: hot
         self,
         trace: "CompiledTrace",
         max_records: Optional[int] = None,
         record_hook: Optional[Callable[["TraceCore"], None]] = None,
+        sanitize: Optional[bool] = None,
+        shadow: Optional["TraceCore"] = None,
     ) -> None:
         """Replay a compiled array-backed trace without per-record objects.
 
@@ -142,7 +147,26 @@ class TraceCore:
         the flush + call for the records in between (this loop, and the
         object path, simply call every record; the promise makes that
         equivalent).
+
+        ``sanitize`` (default: ``$REPRO_SANITIZE``) additionally replays
+        the trace through the object path on ``shadow`` (a deep copy of
+        this core when not given) and asserts step-by-step equivalence —
+        see :mod:`repro.core_model.sanitizer`. Hook-driven replays manage
+        their own sanitization (the bandit runners compare per-step
+        decisions), so ``sanitize`` with a ``record_hook`` is an error.
         """
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        if sanitize:
+            if record_hook is not None:
+                raise ValueError(
+                    "sanitize=True cannot wrap a record_hook replay; the "
+                    "hook's caller must run its own dual-path comparison"
+                )
+            from repro.core_model.sanitizer import run_sanitized_replay
+
+            run_sanitized_replay(self, trace, max_records, shadow)
+            return
         pcs, blocks, all_flags, gaps = trace.as_lists()
         if max_records is not None and max_records < len(pcs):
             pcs = pcs[:max_records]

@@ -17,12 +17,18 @@ hierarchy with a chosen prefetcher configuration:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bandit.base import MABAlgorithm
 from repro.bandit.hardware import MicroArmedBandit
 from repro.core_model.multicore import MulticoreSystem
+from repro.core_model.sanitizer import (
+    StepRecord,
+    compare_step_logs,
+    sanitize_enabled,
+)
 from repro.core_model.trace_core import CoreConfig, TraceCore
 from repro.experiments.configs import (
     BASELINE_HIERARCHY_CONFIG,
@@ -63,10 +69,25 @@ class PrefetchRunResult:
     records: int = 0
 
 
-def _replay(core: TraceCore, trace: TraceInput) -> None:
-    """Replay ``trace`` on ``core`` via the fastest applicable kernel."""
+def _replay(
+    core: TraceCore,
+    trace: TraceInput,
+    shadow_factory: Optional[Callable[[], TraceCore]] = None,
+) -> None:
+    """Replay ``trace`` on ``core`` via the fastest applicable kernel.
+
+    Under ``REPRO_SANITIZE=1``, compiled replays also run the object path
+    on a shadow stack and assert equivalence. ``shadow_factory`` builds
+    that stack; runners whose prefetchers close over external state (the
+    Pythia bandwidth probe) must provide it, because a deep copy of the
+    core would leave the copied prefetcher probing the *original*
+    hierarchy.
+    """
     if isinstance(trace, CompiledTrace):
-        core.run_compiled(trace)
+        if shadow_factory is not None and sanitize_enabled():
+            core.run_compiled(trace, sanitize=True, shadow=shadow_factory())
+        else:
+            core.run_compiled(trace)
     else:
         core.run(trace)
 
@@ -117,14 +138,22 @@ def run_fixed_prefetcher(
     l1_prefetcher: Optional[Prefetcher] = None,
 ) -> PrefetchRunResult:
     """Replay ``trace`` with a fixed comparator prefetcher at the L2."""
-    holder: list = []
-    prefetcher = make_prefetcher(prefetcher_name, holder)
-    hierarchy = CacheHierarchy(
-        hierarchy_config, l2_prefetcher=prefetcher, l1_prefetcher=l1_prefetcher
+
+    def build_core(l1: Optional[Prefetcher]) -> TraceCore:
+        holder: list = []
+        prefetcher = make_prefetcher(prefetcher_name, holder)
+        built = CacheHierarchy(
+            hierarchy_config, l2_prefetcher=prefetcher, l1_prefetcher=l1
+        )
+        holder.append(built)
+        return TraceCore(built, core_config)
+
+    core = build_core(l1_prefetcher)
+    hierarchy = core.hierarchy
+    _replay(
+        core, trace,
+        shadow_factory=lambda: build_core(copy.deepcopy(l1_prefetcher)),
     )
-    holder.append(hierarchy)
-    core = TraceCore(hierarchy, core_config)
-    _replay(core, trace)
     hierarchy.finalize()
     return PrefetchRunResult(
         ipc=core.ipc,
@@ -142,11 +171,18 @@ def run_fixed_arm(
     core_config: CoreConfig = CORE_CONFIG_TABLE4,
 ) -> PrefetchRunResult:
     """Replay ``trace`` with one ensemble arm held for the whole run."""
-    ensemble = EnsemblePrefetcher()
-    ensemble.set_arm(arm)
-    hierarchy = CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble)
-    core = TraceCore(hierarchy, core_config)
-    _replay(core, trace)
+
+    def build_core() -> TraceCore:
+        ensemble = EnsemblePrefetcher()
+        ensemble.set_arm(arm)
+        return TraceCore(
+            CacheHierarchy(hierarchy_config, l2_prefetcher=ensemble),
+            core_config,
+        )
+
+    core = build_core()
+    hierarchy = core.hierarchy
+    _replay(core, trace, shadow_factory=build_core)
     hierarchy.finalize()
     return PrefetchRunResult(
         ipc=core.ipc,
@@ -182,13 +218,34 @@ def run_bandit_prefetch(
     seed: int = 0,
     ideal_latency: bool = False,
     l1_prefetcher: Optional[Prefetcher] = None,
+    sanitize: Optional[bool] = None,
+    _step_log: Optional[List[StepRecord]] = None,
 ) -> PrefetchRunResult:
     """Replay ``trace`` with the Micro-Armed Bandit driving the ensemble.
 
     ``ideal_latency`` removes the 500-cycle selection latency (the
     *BanditIdeal* configuration of Figure 9). ``l1_prefetcher`` optionally
     adds a fixed L1 prefetcher underneath (Figure 12's Stride_Bandit).
+
+    ``sanitize`` (default: ``$REPRO_SANITIZE``, for compiled traces) runs
+    the trace through *both* replay paths — the fused kernel with the
+    record hook, and the object loop on an independent shadow stack — and
+    asserts that every bandit step is identical across them: arm choices,
+    step-boundary counters, and the DUCB reward estimates and selection
+    counts. ``_step_log`` is the internal per-step capture those two runs
+    compare; callers should not pass it.
     """
+    if sanitize is None:
+        sanitize = (
+            sanitize_enabled()
+            and isinstance(trace, CompiledTrace)
+            and _step_log is None
+        )
+    if sanitize:
+        return _run_bandit_sanitized(
+            trace, algorithm, hierarchy_config, core_config, params,
+            seed, ideal_latency, l1_prefetcher,
+        )
     if algorithm is None:
         algorithm = prefetch_bandit_algorithm(seed=seed, params=params)
     ensemble = EnsemblePrefetcher(
@@ -210,6 +267,27 @@ def run_bandit_prefetch(
     next_boundary = params.step_l2_accesses
     stats = hierarchy.stats
 
+    step_log = _step_log
+
+    def log_step(state_core: TraceCore) -> None:
+        # Sanitizer capture: the per-step state both replay paths must
+        # reproduce bit-identically. Appended at the initial selection,
+        # every step boundary, and after the trailing flush.
+        if step_log is None:
+            return
+        step_log.append(StepRecord(
+            step=len(step_log),
+            instructions=state_core.instructions,
+            cycles=state_core.retire_time,
+            ipc=state_core.ipc,
+            l2_demand_accesses=stats.l2_demand_accesses,
+            arm=pending_arm,
+            reward_estimates=tuple(algorithm.reward_estimates()),
+            selection_counts=tuple(algorithm.selection_counts()),
+        ))
+
+    log_step(core)
+
     if isinstance(trace, CompiledTrace):
         # Compiled replay: the same per-record bandit logic as the object
         # loop below, fired from the kernel's record hook. The hook returns
@@ -221,6 +299,7 @@ def run_bandit_prefetch(
         step_accesses = params.step_l2_accesses
         infinity = float("inf")
 
+        # repro: mirror[bandit-step]
         def bandit_hook(hook_core: TraceCore) -> Tuple[int, float]:
             nonlocal pending_arm, applied_arm, next_boundary
             retire_time = hook_core.retire_time
@@ -232,6 +311,7 @@ def run_bandit_prefetch(
                 bandit.end_step(hook_core.counters())
                 pending_arm = bandit.begin_step(retire_time)
                 arm_trace.append((retire_time, pending_arm))
+                log_step(hook_core)
                 if ideal_latency:
                     ensemble.set_arm(pending_arm)
                     applied_arm = pending_arm
@@ -242,8 +322,9 @@ def run_bandit_prefetch(
                 else infinity,
             )
 
-        core.run_compiled(trace, record_hook=bandit_hook)
+        core.run_compiled(trace, record_hook=bandit_hook, sanitize=False)
     else:
+        # repro: mirror[bandit-step] begin
         for record in trace:
             core.execute(record)
             if pending_arm != applied_arm and core.retire_time >= bandit.selection_ready_cycle:
@@ -254,12 +335,15 @@ def run_bandit_prefetch(
                 bandit.end_step(core.counters())
                 pending_arm = bandit.begin_step(core.retire_time)
                 arm_trace.append((core.retire_time, pending_arm))
+                log_step(core)
                 if ideal_latency:
                     ensemble.set_arm(pending_arm)
                     applied_arm = pending_arm
+        # repro: mirror[bandit-step] end
     # The last begin_step() is still awaiting its reward: train on the
     # trailing partial step (or retract it if it covered zero cycles).
     bandit.flush_step(core.counters())
+    log_step(core)
     hierarchy.finalize()
     return PrefetchRunResult(
         ipc=core.ipc,
@@ -270,6 +354,44 @@ def run_bandit_prefetch(
         arm_trace=arm_trace,
         records=len(trace),
     )
+
+
+def _run_bandit_sanitized(
+    trace: TraceInput,
+    algorithm: Optional[MABAlgorithm],
+    hierarchy_config: HierarchyConfig,
+    core_config: CoreConfig,
+    params: PrefetchBanditParams,
+    seed: int,
+    ideal_latency: bool,
+    l1_prefetcher: Optional[Prefetcher],
+) -> PrefetchRunResult:
+    """Run both bandit replay paths and assert per-step equivalence.
+
+    The kernel-path run goes first with the caller's objects; the object-
+    path run uses independent copies (a deep copy of ``algorithm`` taken
+    *before* the first run trains it, and a fresh hierarchy stack), so the
+    caller's result is exactly what the unsanitized call would return.
+    """
+    if not isinstance(trace, CompiledTrace):
+        raise ValueError("sanitized bandit replay requires a CompiledTrace")
+    shadow_algorithm = copy.deepcopy(algorithm)
+    shadow_l1 = copy.deepcopy(l1_prefetcher)
+
+    kernel_log: List[StepRecord] = []
+    result = run_bandit_prefetch(
+        trace, algorithm, hierarchy_config, core_config, params,
+        seed=seed, ideal_latency=ideal_latency, l1_prefetcher=l1_prefetcher,
+        sanitize=False, _step_log=kernel_log,
+    )
+    object_log: List[StepRecord] = []
+    run_bandit_prefetch(
+        trace.to_records(), shadow_algorithm, hierarchy_config, core_config,
+        params, seed=seed, ideal_latency=ideal_latency,
+        l1_prefetcher=shadow_l1, sanitize=False, _step_log=object_log,
+    )
+    compare_step_logs(kernel_log, object_log, context="run_bandit_prefetch")
+    return result
 
 
 # --------------------------------------------------------------------- 4-core

@@ -20,9 +20,15 @@ class Prefetcher:
 
     name = "base"
 
-    #: Hardware storage estimate in bytes; see repro.hwcost for the per-design
-    #: derivations used in the paper's comparison.
-    storage_bytes = 0
+    #: Default hardware storage estimate; stateless designs leave it at 0
+    #: and stateful ones either set it or override :attr:`storage_bytes`.
+    _STORAGE_BYTES = 0
+
+    @property
+    def storage_bytes(self) -> int:
+        """Hardware storage estimate in bytes; see repro.hwcost for the
+        per-design derivations used in the paper's comparison."""
+        return self._STORAGE_BYTES
 
     def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:
         """React to a demand access to ``block`` (a 64-byte block number).

@@ -58,7 +58,7 @@ class BingoPrefetcher(Prefetcher):
         self._history_short: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # History entries: tag (~4 B) + 32-bit footprint; the full design the
         # paper compares against is 46 KB.
         return 46 * 1024

@@ -45,7 +45,7 @@ class BOPrefetcher(Prefetcher):
         self._active = True
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # Recent-requests table (~6 B/entry) + one score counter per offset.
         return self.recent_capacity * 6 + len(self.offsets) * 2
 

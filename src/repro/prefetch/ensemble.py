@@ -83,7 +83,7 @@ class EnsemblePrefetcher(Prefetcher):
         return self._arm_id
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # The component prefetchers are "already fundamental parts of modern
         # processors" (§7.2.1); together with them the ensemble is < 2 KB.
         return (

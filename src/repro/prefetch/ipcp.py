@@ -60,7 +60,7 @@ class IPCPPrefetcher(Prefetcher):
         self._regions: "OrderedDict[int, List[int]]" = OrderedDict()
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         return self.table_capacity * 16 + self.cplx_capacity * 4 + 64 * 4
 
     def observe(self, pc: int, block: int, cycle: float, hit: bool) -> List[int]:

@@ -57,7 +57,7 @@ class MLOPPrefetcher(Prefetcher):
         self.selected_offsets: List[int] = [1]
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # The DPC-3 design reports ~8 KB: access maps + score matrix.
         return 8 * 1024
 

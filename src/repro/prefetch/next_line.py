@@ -15,7 +15,7 @@ class NextLinePrefetcher(Prefetcher):
     """
 
     name = "next_line"
-    storage_bytes = 1
+    _STORAGE_BYTES = 1
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled

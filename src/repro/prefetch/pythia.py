@@ -90,7 +90,7 @@ class PythiaPrefetcher(Prefetcher):
         self.action_counts: Counter = Counter()
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # The paper charges Pythia 25.5 KB (§7.2.1).
         return 25 * 1024 + 512
 

@@ -46,7 +46,7 @@ class StreamPrefetcher(Prefetcher):
         self._trackers: "OrderedDict[int, _StreamTracker]" = OrderedDict()
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # Per tracker: region tag (~6 B) + last block (1 B) + dir/conf (1 B).
         return self.num_trackers * 8
 

@@ -43,7 +43,7 @@ class StridePrefetcher(Prefetcher):
         self._entries: "OrderedDict[int, _StrideEntry]" = OrderedDict()
 
     @property
-    def storage_bytes(self) -> int:  # type: ignore[override]
+    def storage_bytes(self) -> int:
         # Per entry: PC tag (~4 B) + last block (~6 B) + stride/conf (2 B).
         return self.num_trackers * 12
 

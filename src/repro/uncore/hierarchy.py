@@ -128,6 +128,7 @@ class CacheHierarchy:
 
     # --------------------------------------------------------------- internals
 
+    # repro: mirror[demand-path]
     def _demand_access(  # repro: hot
         self, pc: int, address: int, cycle: float, *, is_write: bool
     ) -> float:
@@ -346,6 +347,7 @@ class CacheHierarchy:
             # L1 writeback lands in L2 (no DRAM traffic).
             self._fill_l2(victim.block, prefetched=False, dirty=True)
 
+    # repro: mirror[fill-l2]
     def _fill_l2(  # repro: hot
         self, block: int, *, prefetched: bool, dirty: bool = False
     ) -> None:
@@ -392,6 +394,7 @@ class CacheHierarchy:
             cache_set[block] = CacheLine(block, stamp, prefetched, False, dirty)
             l2._resident += 1
 
+    # repro: mirror[fill-llc]
     def _fill_llc(  # repro: hot
         self, block: int, *, prefetched: bool, dirty: bool = False
     ) -> None:

@@ -347,7 +347,7 @@ GENERATORS: Dict[str, Callable[..., List[TraceRecord]]] = {
 }
 
 
-def generate_trace(kind: str, params: GeneratorParams, **kwargs) -> List[TraceRecord]:
+def generate_trace(kind: str, params: GeneratorParams, **kwargs: object) -> List[TraceRecord]:
     """Generate a trace of the given pattern ``kind`` (see :data:`GENERATORS`)."""
     try:
         generator = GENERATORS[kind]

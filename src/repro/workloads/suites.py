@@ -51,7 +51,14 @@ class WorkloadSpec:
         return generate_trace(self.kind, params, **self.generator_kwargs)
 
 
-def _spec(name, suite, kind, gap_mean=3.0, write_fraction=0.25, **kwargs):
+def _spec(
+    name: str,
+    suite: str,
+    kind: str,
+    gap_mean: float = 3.0,
+    write_fraction: float = 0.25,
+    **kwargs: object,
+) -> WorkloadSpec:
     return WorkloadSpec(name, suite, kind, kwargs, gap_mean, write_fraction)
 
 

@@ -74,7 +74,8 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+        for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7",
+                     "R8", "R9", "R10"):
             assert code in out
 
 
@@ -136,6 +137,53 @@ class TestBaseline:
     def test_write_baseline_requires_file(self, tree):
         with pytest.raises(SystemExit):
             run_cli(tree, "--write-baseline")
+
+    def test_prune_requires_baseline(self, tree):
+        with pytest.raises(SystemExit):
+            run_cli(tree, "--prune")
+
+
+class TestStaleBaseline:
+    def _make_stale(self, tree):
+        baseline = tree / "baseline.json"
+        run_cli(tree, "--baseline", str(baseline), "--write-baseline")
+        # Fixing the dirty module leaves its baseline entry matching no line.
+        (tree / "src" / "dirty.py").write_text(CLEAN_SOURCE, encoding="utf-8")
+        return baseline
+
+    def test_stale_entries_warn_without_failing(self, tree, capsys):
+        baseline = self._make_stale(tree)
+        assert run_cli(tree, "--baseline", str(baseline)) == 0
+        err = capsys.readouterr().err
+        assert "no longer match" in err
+        assert "--prune" in err
+        # The file itself is untouched without --prune.
+        assert len(json.loads(baseline.read_text())["entries"]) == 1
+
+    def test_prune_drops_stale_entries(self, tree, capsys):
+        baseline = self._make_stale(tree)
+        assert run_cli(tree, "--baseline", str(baseline), "--prune") == 0
+        out = capsys.readouterr()
+        assert "pruned 1 stale" in out.out
+        assert json.loads(baseline.read_text())["entries"] == []
+        # A second prune finds nothing stale and stays quiet.
+        assert run_cli(tree, "--baseline", str(baseline), "--prune") == 0
+        assert "pruned" not in capsys.readouterr().out
+
+    def test_deleted_file_makes_entry_stale(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        run_cli(tree, "--baseline", str(baseline), "--write-baseline")
+        (tree / "src" / "dirty.py").unlink()
+        assert run_cli(tree, "--baseline", str(baseline), "--prune") == 0
+        capsys.readouterr()
+        assert json.loads(baseline.read_text())["entries"] == []
+
+    def test_live_entries_survive_prune(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        run_cli(tree, "--baseline", str(baseline), "--write-baseline")
+        assert run_cli(tree, "--baseline", str(baseline), "--prune") == 0
+        capsys.readouterr()
+        assert len(json.loads(baseline.read_text())["entries"]) == 1
 
 
 def test_relative_root_keeps_keys_machine_independent(tree):

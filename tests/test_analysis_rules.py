@@ -543,3 +543,67 @@ class TestHotLoopRule:
             rules=self.RULES,
         )
         assert findings == []
+
+    def test_nested_hot_function_is_checked(self):
+        # Only the inner closure is marked hot; the enclosing function's
+        # identical loop must stay clean.
+        findings = lint(
+            """
+            def outer(raw):
+                def kernel(rows):  # repro: hot
+                    out = []
+                    for pc in rows:
+                        out.append(Record(pc))
+                    return out
+                cold = []
+                for pc in raw:
+                    cold.append(Record(pc))
+                return kernel(raw) + cold
+            """,
+            rules=self.RULES,
+        )
+        assert codes(findings) == ["R7"]
+        assert findings[0].line == 6  # the append inside `kernel`
+
+    def test_flags_constructor_comprehension_in_hot_loop(self):
+        findings = lint(
+            """
+            def replay(batches):  # repro: hot
+                out = []
+                for batch in batches:
+                    out += [Record(pc) for pc in batch]
+                return out
+            """,
+            rules=self.RULES,
+        )
+        assert codes(findings) == ["R7"]
+        assert "comprehension" in findings[0].message
+
+    def test_scalar_comprehension_in_hot_loop_is_clean(self):
+        findings = lint(
+            """
+            def replay(batches):  # repro: hot
+                out = []
+                for batch in batches:
+                    out += [pc << 6 for pc in batch]
+                return out
+            """,
+            rules=self.RULES,
+        )
+        assert findings == []
+
+    def test_try_finally_wrapped_loop_is_checked(self):
+        findings = lint(
+            """
+            def replay(raw):  # repro: hot
+                records = []
+                try:
+                    for pc in raw:
+                        records.append(Record(pc))
+                finally:
+                    raw.close()
+                return records
+            """,
+            rules=self.RULES,
+        )
+        assert codes(findings) == ["R7"]

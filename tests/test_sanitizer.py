@@ -1,0 +1,187 @@
+"""Tests for the runtime equivalence sanitizer (REPRO_SANITIZE).
+
+The sanitizer replays every compiled trace through both implementations of
+the replay semantics — the fused kernel and the object path — and must (a)
+pass silently when they agree, without changing any result, and (b) abort
+with a first-divergence report (step, field, both values) when they do
+not. The divergence cases perturb the kernel side only, exactly the class
+of bug R10 exists to catch statically.
+"""
+
+import pytest
+
+import repro.core_model.trace_core as trace_core_module
+from repro.core_model.sanitizer import (
+    SANITIZE_ENV,
+    SanitizeDivergence,
+    StepRecord,
+    compare_step_logs,
+    sanitize_enabled,
+)
+from repro.core_model.trace_core import TraceCore
+from repro.experiments.configs import (
+    BASELINE_HIERARCHY_CONFIG,
+    CORE_CONFIG_TABLE4,
+)
+from repro.experiments.prefetch import (
+    run_bandit_prefetch,
+    run_fixed_arm,
+    run_fixed_prefetcher,
+)
+from repro.uncore.hierarchy import CacheHierarchy
+from repro.workloads.compiled import CompiledTrace
+from repro.workloads.suites import tune_specs
+
+TRACE_LENGTH = 4000
+
+
+@pytest.fixture(scope="module")
+def compiled_trace():
+    spec = tune_specs()[0]
+    return CompiledTrace.from_records(spec.trace(TRACE_LENGTH, seed=0))
+
+
+@pytest.fixture
+def sanitize_env(monkeypatch):
+    monkeypatch.setenv(SANITIZE_ENV, "1")
+
+
+def perturb_kernel(monkeypatch):
+    """Make the fused kernel see one extra instruction in the first gap."""
+    real_kernel = trace_core_module.run_replay_kernel
+
+    def skewed(core, pcs, blocks, all_flags, gaps, record_hook=None):
+        gaps = [gaps[0] + 1, *gaps[1:]]
+        return real_kernel(core, pcs, blocks, all_flags, gaps, record_hook)
+
+    monkeypatch.setattr(trace_core_module, "run_replay_kernel", skewed)
+
+
+class TestEnablement:
+    def test_env_parsing(self, monkeypatch):
+        for value in ("", "0", "false", "no", "off"):
+            monkeypatch.setenv(SANITIZE_ENV, value)
+            assert not sanitize_enabled()
+        for value in ("1", "true", "yes", "on"):
+            monkeypatch.setenv(SANITIZE_ENV, value)
+            assert sanitize_enabled()
+        monkeypatch.delenv(SANITIZE_ENV)
+        assert not sanitize_enabled()
+
+    def test_sanitize_rejects_record_hook(self, compiled_trace):
+        core = TraceCore(
+            CacheHierarchy(BASELINE_HIERARCHY_CONFIG), CORE_CONFIG_TABLE4
+        )
+        with pytest.raises(ValueError, match="record_hook"):
+            core.run_compiled(
+                compiled_trace, record_hook=lambda c: None, sanitize=True
+            )
+
+
+class TestCompareStepLogs:
+    LOG = [
+        StepRecord(step=1, instructions=10, cycles=5.0, ipc=2.0,
+                   l2_demand_accesses=3),
+        StepRecord(step=2, instructions=20, cycles=10.0, ipc=2.0,
+                   l2_demand_accesses=7, arm=4,
+                   reward_estimates=(0.5, 0.25)),
+    ]
+
+    def test_equal_logs_pass(self):
+        compare_step_logs(list(self.LOG), list(self.LOG), "unit")
+
+    def test_first_divergence_is_reported(self):
+        skewed = [
+            self.LOG[0],
+            StepRecord(step=2, instructions=21, cycles=10.0, ipc=2.0,
+                       l2_demand_accesses=7, arm=5,
+                       reward_estimates=(0.5, 0.25)),
+        ]
+        with pytest.raises(SanitizeDivergence) as info:
+            compare_step_logs(list(self.LOG), skewed, "unit")
+        error = info.value
+        # instructions differs before arm: the report names the first field.
+        assert error.step == 2
+        assert error.field_name == "instructions"
+        assert error.kernel_value == 20
+        assert error.object_value == 21
+        assert "step 2" in str(error)
+        assert "unit" in str(error)
+
+    def test_length_mismatch_is_divergence(self):
+        with pytest.raises(SanitizeDivergence) as info:
+            compare_step_logs(list(self.LOG), list(self.LOG[:1]), "unit")
+        assert info.value.field_name == "checkpoint count"
+
+
+class TestHookFreeReplay:
+    def build_core(self):
+        return TraceCore(
+            CacheHierarchy(BASELINE_HIERARCHY_CONFIG), CORE_CONFIG_TABLE4
+        )
+
+    def test_sanitized_replay_matches_plain(self, compiled_trace):
+        plain = self.build_core()
+        plain.run_compiled(compiled_trace, sanitize=False)
+        checked = self.build_core()
+        checked.run_compiled(compiled_trace, sanitize=True)
+        assert checked.instructions == plain.instructions
+        assert checked.cycles == plain.cycles
+        assert checked.hierarchy.stats == plain.hierarchy.stats
+
+    def test_env_variable_switches_it_on(self, compiled_trace, sanitize_env,
+                                         monkeypatch):
+        perturb_kernel(monkeypatch)
+        with pytest.raises(SanitizeDivergence):
+            self.build_core().run_compiled(compiled_trace)
+
+    def test_perturbed_kernel_reports_first_divergence(self, compiled_trace,
+                                                       monkeypatch):
+        perturb_kernel(monkeypatch)
+        with pytest.raises(SanitizeDivergence) as info:
+            self.build_core().run_compiled(compiled_trace, sanitize=True)
+        error = info.value
+        assert error.field_name == "instructions"
+        assert error.kernel_value == error.object_value + 1
+
+    def test_max_records_is_respected(self, compiled_trace):
+        core = self.build_core()
+        core.run_compiled(compiled_trace, max_records=500, sanitize=True)
+        reference = self.build_core()
+        reference.run_compiled(compiled_trace, max_records=500,
+                               sanitize=False)
+        assert core.instructions == reference.instructions
+
+
+class TestExperimentRunners:
+    def test_sanitized_bandit_run_is_bit_identical(self, compiled_trace,
+                                                   sanitize_env):
+        checked = run_bandit_prefetch(compiled_trace, seed=0)
+        plain = run_bandit_prefetch(compiled_trace, seed=0, sanitize=False)
+        assert checked.ipc == plain.ipc
+        assert checked.cycles == plain.cycles
+        assert checked.arm_history == plain.arm_history
+        assert checked.stats == plain.stats
+
+    def test_sanitized_bandit_catches_kernel_skew(self, compiled_trace,
+                                                  sanitize_env, monkeypatch):
+        perturb_kernel(monkeypatch)
+        with pytest.raises(SanitizeDivergence) as info:
+            run_bandit_prefetch(compiled_trace, seed=0)
+        error = info.value
+        assert error.context == "run_bandit_prefetch"
+        assert error.field_name == "instructions"
+
+    def test_sanitized_fixed_prefetcher_runs(self, compiled_trace,
+                                             sanitize_env):
+        # Pythia's bandwidth probe closes over the live hierarchy, the case
+        # that forces the runner to build its own shadow stack.
+        checked = run_fixed_prefetcher(compiled_trace, "pythia")
+        plain = run_fixed_prefetcher(compiled_trace, "pythia")
+        assert checked.ipc == plain.ipc
+
+    def test_sanitized_fixed_arm_runs(self, compiled_trace, sanitize_env):
+        checked = run_fixed_arm(compiled_trace, 5)
+        plain = run_fixed_arm(compiled_trace, 5)
+        assert checked.ipc == plain.ipc
+        assert checked.arm_history == [5]
