@@ -23,7 +23,7 @@ from __future__ import annotations
 import copy
 import os
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core_model.trace_core import TraceCore
@@ -61,6 +61,31 @@ class StepRecord:
     selection_counts: Optional[Tuple[float, ...]] = None
 
 
+@dataclass(frozen=True)
+class SMTStepRecord:
+    """One comparison checkpoint from either SMT simulation path.
+
+    For static runs ``step`` counts Hill-Climbing epochs. For bandit runs
+    the log interleaves per-epoch records with one per-bandit-step record
+    (the latter carries the chosen arm and, for algorithms that expose
+    them, the estimator state, so DUCB estimates are compared
+    bit-for-bit). The bandit-only fields stay ``None`` in static runs.
+    """
+
+    step: int
+    committed0: int
+    committed1: int
+    cycles: float
+    ipc: float
+    arm: Optional[int] = None
+    reward_estimates: Optional[Tuple[float, ...]] = None
+    selection_counts: Optional[Tuple[float, ...]] = None
+
+
+#: Any checkpoint record type :func:`compare_step_logs` accepts.
+AnyStepRecord = Union[StepRecord, SMTStepRecord]
+
+
 class SanitizeDivergence(AssertionError):
     """The two replay paths disagreed; carries the first divergence."""
 
@@ -85,13 +110,17 @@ class SanitizeDivergence(AssertionError):
 
 
 def compare_step_logs(
-    kernel_log: List[StepRecord],
-    object_log: List[StepRecord],
+    kernel_log: Sequence[AnyStepRecord],
+    object_log: Sequence[AnyStepRecord],
     context: str,
 ) -> None:
-    """Raise :class:`SanitizeDivergence` at the first differing field."""
+    """Raise :class:`SanitizeDivergence` at the first differing field.
+
+    Works for any checkpoint record dataclass (prefetch ``StepRecord``,
+    SMT ``SMTStepRecord``): fields are taken from the kernel-side record.
+    """
     for kernel_step, object_step in zip(kernel_log, object_log):
-        for record_field in fields(StepRecord):
+        for record_field in fields(kernel_step):
             kernel_value = getattr(kernel_step, record_field.name)
             object_value = getattr(object_step, record_field.name)
             if kernel_value != object_value:

@@ -158,6 +158,42 @@ def table8_algorithm_lineup(
     }
 
 
+def smt_algorithm_lineup(
+    seed: int = 0,
+    num_arms: int = SMT_NUM_ARMS,
+) -> Dict[str, MABAlgorithm]:
+    """The Table 9 algorithm lineup (SMT hyperparameters), keyed by row label.
+
+    Fresh algorithm objects per call — bandit state is mutable, so sharing
+    instances across runs would leak estimator state between mixes. The
+    Periodic buffer/period values follow the SMT episode length the same way
+    Table 8's follow the prefetching one.
+    """
+    from repro.bandit.epsilon_greedy import EpsilonGreedy
+    from repro.bandit.heuristics import Periodic, Single
+    from repro.bandit.ucb import UCB
+
+    return {
+        "Single": Single(BanditConfig(num_arms=num_arms, seed=seed)),
+        "Periodic": Periodic(
+            BanditConfig(num_arms=num_arms, seed=seed),
+            period=20, buffer_length=4,
+        ),
+        "eGreedy": EpsilonGreedy(
+            BanditConfig(num_arms=num_arms, epsilon=EPSILON_GREEDY_EPSILON,
+                         seed=seed)
+        ),
+        "UCB": UCB(
+            BanditConfig(num_arms=num_arms, exploration_c=SMT_EXPLORATION_C,
+                         seed=seed)
+        ),
+        "DUCB": DUCB(
+            BanditConfig(num_arms=num_arms, gamma=SMT_GAMMA,
+                         exploration_c=SMT_EXPLORATION_C, seed=seed)
+        ),
+    }
+
+
 @dataclass(frozen=True)
 class SMTBanditParams:
     """Table 6, SMT column (epoch length scaled; see module docstring)."""

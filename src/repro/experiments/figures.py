@@ -16,11 +16,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
-from repro.bandit.epsilon_greedy import EpsilonGreedy
-from repro.bandit.heuristics import Periodic, Single
+from repro.bandit.heuristics import Single
 from repro.bandit.ucb import UCB
 from repro.constants import (
-    EPSILON_GREEDY_EPSILON,
     PREFETCH_EXPLORATION_C,
     SMT_EXPLORATION_C,
     SMT_GAMMA,
@@ -44,12 +42,13 @@ from repro.experiments.runner import (
     multicore_bandit_task,
     multicore_fixed_task,
     run_parallel,
+    smt_bandit_task,
+    smt_static_task,
 )
 from repro.experiments.smt import (
     DEFAULT_SMT_SCALE,
     SMTScale,
     run_smt_bandit,
-    run_smt_static,
     smt_best_static_arm,
 )
 from repro.hwcost.area_power import (
@@ -162,14 +161,33 @@ def fig05_pg_policy_range(
     best policy's mnemonic.
     """
     mixes = smt_tune_mixes()[:num_mixes]
+    tasks: List[Task] = []
+    for mix in mixes:
+        names = (mix[0].name, mix[1].name)
+        tasks.append(Task(
+            smt_static_task,
+            dict(thread_names=names, policy_mnemonic=CHOI_POLICY.mnemonic,
+                 scale=scale, seed=seed),
+            label=f"fig05:{names[0]}-{names[1]}:choi",
+        ))
+        tasks.extend(
+            Task(
+                smt_static_task,
+                dict(thread_names=names, policy_mnemonic=policy.mnemonic,
+                     scale=scale, seed=seed),
+                label=f"fig05:{names[0]}-{names[1]}:{policy.mnemonic}",
+            )
+            for policy in policies
+        )
+    task_results = iter(run_parallel(tasks))
     results: List[Dict[str, object]] = []
-    for index, mix in enumerate(mixes):
-        choi_ipc = run_smt_static(mix, CHOI_POLICY, scale, seed=seed).ipc
+    for mix in mixes:
+        choi_ipc = next(task_results).ipc
         best_name = CHOI_POLICY.mnemonic
         best_ipc = -1.0
         worst_ipc = float("inf")
         for policy in policies:
-            ipc = run_smt_static(mix, policy, scale, seed=seed).ipc
+            ipc = next(task_results).ipc
             if ipc > best_ipc:
                 best_ipc = ipc
                 best_name = policy.mnemonic
@@ -244,28 +262,6 @@ def table08_prefetch_tuneset(
 # =============================================================== Table 9
 
 
-def _smt_algorithms(seed: int) -> Dict[str, MABAlgorithm]:
-    arms = len(BANDIT_PG_ARMS)
-    return {
-        "Single": Single(BanditConfig(num_arms=arms, seed=seed)),
-        "Periodic": Periodic(
-            BanditConfig(num_arms=arms, seed=seed), period=20, buffer_length=4
-        ),
-        "eGreedy": EpsilonGreedy(
-            BanditConfig(num_arms=arms, epsilon=EPSILON_GREEDY_EPSILON,
-                         seed=seed)
-        ),
-        "UCB": UCB(BanditConfig(num_arms=arms,
-                                exploration_c=SMT_EXPLORATION_C, seed=seed)),
-        "DUCB": DUCB(
-            BanditConfig(
-                num_arms=arms, gamma=SMT_GAMMA,
-                exploration_c=SMT_EXPLORATION_C, seed=seed
-            )
-        ),
-    }
-
-
 def table09_smt_tuneset(
     num_mixes: int = 10,
     scale: SMTScale = DEFAULT_SMT_SCALE,
@@ -273,16 +269,44 @@ def table09_smt_tuneset(
 ) -> Dict[str, Summary]:
     """min/max/gmean IPC as % of the best static arm (SMT tune set)."""
     mixes = smt_tune_mixes()[:num_mixes]
-    names = ("Choi", "Single", "Periodic", "eGreedy", "UCB", "DUCB")
-    ratios: Dict[str, List[float]] = {name: [] for name in names}
+    algorithm_names = ("Single", "Periodic", "eGreedy", "UCB", "DUCB")
+    tasks: List[Task] = []
     for mix in mixes:
-        _, per_arm = smt_best_static_arm(mix, scale=scale, seed=seed)
-        oracle = max(per_arm.values())
-        choi = run_smt_static(mix, CHOI_POLICY, scale, seed=seed).ipc
-        ratios["Choi"].append(choi / oracle)
-        for name, algorithm in _smt_algorithms(seed).items():
-            result = run_smt_bandit(mix, scale, algorithm=algorithm, seed=seed)
-            ratios[name].append(result.ipc / oracle)
+        names = (mix[0].name, mix[1].name)
+        mix_label = f"{names[0]}-{names[1]}"
+        tasks.extend(
+            Task(
+                smt_static_task,
+                dict(thread_names=names, policy_mnemonic=arm.mnemonic,
+                     scale=scale, seed=seed),
+                label=f"table09:{mix_label}:arm{index}",
+            )
+            for index, arm in enumerate(BANDIT_PG_ARMS)
+        )
+        tasks.append(Task(
+            smt_static_task,
+            dict(thread_names=names, policy_mnemonic=CHOI_POLICY.mnemonic,
+                 scale=scale, seed=seed),
+            label=f"table09:{mix_label}:choi",
+        ))
+        tasks.extend(
+            Task(
+                smt_bandit_task,
+                dict(thread_names=names, scale=scale, algorithm_name=name,
+                     seed=seed),
+                label=f"table09:{mix_label}:{name}",
+            )
+            for name in algorithm_names
+        )
+    results = iter(run_parallel(tasks))
+    ratios: Dict[str, List[float]] = {
+        name: [] for name in ("Choi",) + algorithm_names
+    }
+    for mix in mixes:
+        oracle = max(next(results).ipc for _ in BANDIT_PG_ARMS)
+        ratios["Choi"].append(next(results).ipc / oracle)
+        for name in algorithm_names:
+            ratios[name].append(next(results).ipc / oracle)
     return {
         name: summarize_ratios(values).as_percent()
         for name, values in ratios.items()
@@ -650,12 +674,34 @@ def fig13_smt_bandit_vs_choi(
     plain ICount, and counts of mixes beyond ±4 %.
     """
     mixes = smt_eval_mixes()[:num_mixes]
+    tasks: List[Task] = []
+    for mix in mixes:
+        names = (mix[0].name, mix[1].name)
+        mix_label = f"{names[0]}-{names[1]}"
+        tasks.append(Task(
+            smt_static_task,
+            dict(thread_names=names, policy_mnemonic=CHOI_POLICY.mnemonic,
+                 scale=scale, seed=seed),
+            label=f"fig13:{mix_label}:choi",
+        ))
+        tasks.append(Task(
+            smt_static_task,
+            dict(thread_names=names, policy_mnemonic=ICOUNT_POLICY.mnemonic,
+                 scale=scale, seed=seed),
+            label=f"fig13:{mix_label}:icount",
+        ))
+        tasks.append(Task(
+            smt_bandit_task,
+            dict(thread_names=names, scale=scale, seed=seed),
+            label=f"fig13:{mix_label}:bandit",
+        ))
+    results = iter(run_parallel(tasks))
     ratios_choi: List[float] = []
     ratios_icount: List[float] = []
     for mix in mixes:
-        choi = run_smt_static(mix, CHOI_POLICY, scale, seed=seed).ipc
-        icount = run_smt_static(mix, ICOUNT_POLICY, scale, seed=seed).ipc
-        bandit = run_smt_bandit(mix, scale, seed=seed).ipc
+        choi = next(results).ipc
+        icount = next(results).ipc
+        bandit = next(results).ipc
         ratios_choi.append(bandit / choi)
         ratios_icount.append(bandit / icount)
     ratios_sorted = sorted(ratios_choi)
@@ -735,9 +781,25 @@ def fig15_rename_activity(
     keys = ("rob_full", "iq_full", "lq_full", "sq_full", "rf_full",
             "stalled_any", "idle", "running")
     sums = {"Choi": dict.fromkeys(keys, 0.0), "Bandit": dict.fromkeys(keys, 0.0)}
+    tasks: List[Task] = []
     for mix in mixes:
-        choi = run_smt_static(mix, CHOI_POLICY, scale, seed=seed)
-        bandit = run_smt_bandit(mix, scale, seed=seed)
+        names = (mix[0].name, mix[1].name)
+        mix_label = f"{names[0]}-{names[1]}"
+        tasks.append(Task(
+            smt_static_task,
+            dict(thread_names=names, policy_mnemonic=CHOI_POLICY.mnemonic,
+                 scale=scale, seed=seed),
+            label=f"fig15:{mix_label}:choi",
+        ))
+        tasks.append(Task(
+            smt_bandit_task,
+            dict(thread_names=names, scale=scale, seed=seed),
+            label=f"fig15:{mix_label}:bandit",
+        ))
+    results = iter(run_parallel(tasks))
+    for mix in mixes:
+        choi = next(results)
+        bandit = next(results)
         for key, value in choi.rename.fractions().items():
             sums["Choi"][key] += value
         for key, value in bandit.rename.fractions().items():

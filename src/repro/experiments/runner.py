@@ -57,7 +57,9 @@ from repro.core_model.trace_core import CoreConfig
 from repro.experiments.configs import (
     BASELINE_HIERARCHY_CONFIG,
     CORE_CONFIG_TABLE4,
+    SMT_CONFIG_TABLE5,
     PrefetchBanditParams,
+    smt_algorithm_lineup,
     table8_algorithm_lineup,
 )
 from repro.experiments.prefetch import (
@@ -75,6 +77,7 @@ from repro.experiments.smt import (
     run_smt_bandit,
     run_smt_static,
 )
+from repro.smt.pipeline import SMTConfig
 from repro.prefetch.base import Prefetcher
 from repro.uncore.hierarchy import HierarchyConfig
 from repro.workloads.compiled import compiled_trace_for
@@ -82,7 +85,7 @@ from repro.workloads.suites import spec_by_name
 
 #: Bump to invalidate every cached result (simulator-visible semantics
 #: changed: result dataclass layout, replay fidelity fixes, ...).
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 
 # ============================================================== cache keys
@@ -591,6 +594,7 @@ def smt_static_task(
     thread_names: Tuple[str, str],
     policy_mnemonic: str,
     scale: SMTScale = DEFAULT_SMT_SCALE,
+    config: SMTConfig = SMT_CONFIG_TABLE5,
     seed: int = 0,
 ) -> SMTRunResult:
     """One SMT mix under a fixed PG policy, rebuilt from mnemonics."""
@@ -599,20 +603,32 @@ def smt_static_task(
 
     mix = (thread_profile(thread_names[0]), thread_profile(thread_names[1]))
     policy = PGPolicy.from_mnemonic(policy_mnemonic)
-    return run_smt_static(mix, policy, scale, seed=seed)
+    return run_smt_static(mix, policy, scale, config, seed=seed)
 
 
 def smt_bandit_task(
     *,
     thread_names: Tuple[str, str],
     scale: SMTScale = DEFAULT_SMT_SCALE,
+    config: SMTConfig = SMT_CONFIG_TABLE5,
+    algorithm_name: Optional[str] = None,
     seed: int = 0,
 ) -> SMTRunResult:
-    """One SMT mix under default Bandit PG-policy control (§5.3)."""
+    """One SMT mix under Bandit PG-policy control (§5.3).
+
+    ``algorithm_name`` selects an alternative MAB algorithm from
+    :func:`repro.experiments.configs.smt_algorithm_lineup` (Table 9's
+    lineup); the default ``None`` is the paper's DUCB configuration.
+    Algorithm objects are rebuilt per task from the name so the task stays
+    cache-keyable and process-pool picklable.
+    """
     from repro.workloads.smt import thread_profile
 
     mix = (thread_profile(thread_names[0]), thread_profile(thread_names[1]))
-    return run_smt_bandit(mix, scale, seed=seed)
+    algorithm = None
+    if algorithm_name is not None:
+        algorithm = smt_algorithm_lineup(seed=seed)[algorithm_name]
+    return run_smt_bandit(mix, scale, config, algorithm=algorithm, seed=seed)
 
 
 # ==================================================== best-static-arm fanout

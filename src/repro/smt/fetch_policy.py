@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 FETCH_PRIORITIES = ("BrC", "IC", "LSQC", "RR")
 
 
+# repro: mirror[smt-pick-thread]
 def pick_thread(
     priority: str,
     eligible: Sequence[int],

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.bandit.base import BanditConfig
+from repro.bandit.base import BanditConfig, MABAlgorithm
 from repro.bandit.ducb import DUCB
+from repro.bandit.heuristics import FixedArm
 from repro.smt.bandit_control import (
     BanditFetchController,
     SMTBanditConfig,
@@ -79,6 +80,131 @@ class TestController:
         controller = make_controller()
         ipc = controller.run_steps(10)
         assert ipc > 0.1
+
+
+class EagerPhaseExit(MABAlgorithm):
+    """Stub that ends its round-robin phase *inside* ``select_arm``.
+
+    The base class flips the phase in ``observe``; an algorithm is free to
+    flip it earlier, which is exactly the case the controller's
+    read-phase-before-select ordering protects (the last RR step must still
+    run the long step).
+    """
+
+    def select_arm(self) -> int:
+        arm = super().select_arm()
+        if not self._rr_queue:
+            self._in_initial_phase = False
+        return arm
+
+    def _next_arm(self) -> int:
+        return 0
+
+    def _upd_sels(self, arm: int) -> None:
+        self.arms[arm].selections += 1.0
+        self.n_total += 1.0
+
+    def _upd_rew(self, arm: int, r_step: float) -> None:
+        entry = self.arms[arm]
+        entry.reward += (r_step - entry.reward) / entry.selections
+
+
+class TestStepAccounting:
+    def test_every_rr_step_runs_long(self):
+        """All ``len(arms)`` round-robin steps run ``step_epochs_rr`` epochs.
+
+        Regression test: the phase flag must be read before ``select_arm()``
+        — an algorithm may end the phase during selection of the last RR arm,
+        and reading the flag afterwards would shortchange that arm's initial
+        estimate by running the short main-loop step.
+        """
+        algorithm = EagerPhaseExit(BanditConfig(num_arms=6, seed=0))
+        controller = make_controller(algorithm=algorithm)
+        pipeline = controller.pipeline
+        step_cycles = []
+        for _ in range(6):
+            before = pipeline.cycle
+            controller.run_one_step()
+            step_cycles.append(pipeline.cycle - before)
+        rr_cycles = FAST_CONFIG.step_epochs_rr * FAST_HC.epoch_cycles
+        assert step_cycles == [rr_cycles] * 6
+        # The very next step is a main-loop step.
+        before = pipeline.cycle
+        controller.run_one_step()
+        assert pipeline.cycle - before == FAST_CONFIG.step_epochs * FAST_HC.epoch_cycles
+
+    def test_epoch_budget_flushes_trailing_epochs(self):
+        """A remainder shorter than a step still runs (no dropped epochs)."""
+        controller = make_controller()
+        total = 13  # 6 RR steps x 2 + 1 = 13: the last step is 1 epoch long.
+        ipc = controller.run_epoch_budget(total)
+        assert controller.pipeline.cycle == total * FAST_HC.epoch_cycles
+        assert ipc > 0.1
+
+    def test_epoch_budget_exact_for_rr_less_algorithm(self):
+        """FixedArm never round-robins; the budget must still be exact.
+
+        Regression test: deriving the step count from the arm count assumed
+        every algorithm starts with a full round-robin sweep.
+        """
+        algorithm = FixedArm(BanditConfig(num_arms=6, seed=0), arm=3)
+        controller = make_controller(algorithm=algorithm)
+        controller.run_epoch_budget(9)
+        assert controller.pipeline.cycle == 9 * FAST_HC.epoch_cycles
+        assert set(controller.arm_history) == {3}
+
+    def test_epoch_budget_reward_normalized_by_actual_epochs(self):
+        """The short final step's reward is averaged over its own epochs."""
+        algorithm = FixedArm(BanditConfig(num_arms=6, seed=0), arm=0)
+        controller = make_controller(algorithm=algorithm)
+        controller.run_epoch_budget(3)  # steps of 1, 1, 1 epoch each
+        # Every step observed a per-cycle-normalized reward; a dropped or
+        # mis-normalized flush would leave the estimate far from step IPC.
+        estimate = algorithm.reward_estimates()[0]
+        assert 0.0 < estimate <= 8.0  # bounded by commit width
+
+
+class TestHillClimbingSaveRestore:
+    def test_revisited_arm_resumes_saved_state(self):
+        controller = make_controller()
+        controller._apply_arm(0)
+        hc = controller.hill_climbing
+        hc.end_epoch(1.0)  # advance arm 0's HC state off the initial point
+        state_before_switch = hc.state()
+        controller._apply_arm(1)
+        assert controller._saved_hc_state[0] == state_before_switch
+        controller._apply_arm(0)
+        assert controller.hill_climbing.state() == state_before_switch
+
+    def test_back_to_back_same_arm_keeps_live_state(self):
+        controller = make_controller()
+        controller._apply_arm(2)
+        live = controller.hill_climbing
+        live.end_epoch(1.5)
+        controller._apply_arm(2)
+        assert controller.hill_climbing is live
+        assert 2 not in controller._saved_hc_state
+
+    def test_unseen_arm_gets_fresh_state(self):
+        controller = make_controller()
+        controller._apply_arm(0)
+        controller.hill_climbing.end_epoch(2.0)
+        controller._apply_arm(4)
+        fresh = controller.hill_climbing
+        assert fresh.state() == (FAST_HC.iq_size / 2.0, 0, (None, None, None))
+
+    def test_states_keyed_per_arm_across_sweep(self):
+        controller = make_controller()
+        ipcs = iter([1.0, 1.2, 0.8, 1.1, 0.9, 1.3])
+        for arm in range(6):
+            controller._apply_arm(arm)
+            controller.hill_climbing.end_epoch(next(ipcs))
+        # Arms 0-4 are saved; arm 5 is live. Each saved state advanced one
+        # epoch, so trial_index is 1 everywhere.
+        assert sorted(controller._saved_hc_state) == [0, 1, 2, 3, 4]
+        for arm, (base, trial_index, scores) in controller._saved_hc_state.items():
+            assert trial_index == 1
+            assert scores[0] is not None
 
 
 class TestStaticRunner:
