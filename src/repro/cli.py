@@ -120,6 +120,51 @@ def _cmd_fig10(args):
                        title="Figure 10"))
 
 
+def _cmd_fig08rep(args):
+    result = figures.fig08_replication_sweep(
+        trace_length=args.trace_length,
+        replicates=args.replicates,
+        workloads=tune_specs()[: args.workloads],
+    )
+    rows = []
+    for name, member in result.items():
+        if name == "all":
+            continue
+        rows.append((
+            name, member["best_static_arm"],
+            f"{member['best_static_norm']:.3f}",
+            f"{member['bandit_mean']:.3f}",
+            f"{member['bandit_min']:.3f}",
+            f"{member['bandit_max']:.3f}",
+        ))
+    rows.append((
+        "all", "", f"{result['all']['best_static_gmean']:.3f}",
+        f"{result['all']['bandit_gmean']:.3f}", "", "",
+    ))
+    print(format_table(
+        ["workload", "best arm", "best static", "bandit mean",
+         "bandit min", "bandit max"],
+        rows, title="Figure 8 replication sweep",
+    ))
+
+
+def _cmd_fig10rep(args):
+    result = figures.fig10_replication_sweep(
+        trace_length=args.trace_length,
+        replicates=args.replicates,
+        workloads=tune_specs()[: args.workloads],
+    )
+    rows = [(f"{int(m)} MTPS", f"{v['best_static_gmean']:.3f}",
+             f"{v['bandit_gmean']:.3f}", f"{v['bandit_min']:.3f}",
+             f"{v['bandit_max']:.3f}")
+            for m, v in sorted(result.items())]
+    print(format_table(
+        ["bandwidth", "best static", "bandit gmean", "bandit min",
+         "bandit max"],
+        rows, title="Figure 10 replication sweep",
+    ))
+
+
 def _cmd_fig12(args):
     result = figures.fig12_multilevel(
         trace_length=args.trace_length,
@@ -188,6 +233,8 @@ COMMANDS: Dict[str, Callable] = {
     "fig08": _cmd_fig08,
     "fig09": _cmd_fig09,
     "fig10": _cmd_fig10,
+    "fig08rep": _cmd_fig08rep,
+    "fig10rep": _cmd_fig10rep,
     "fig11": _cmd_fig11,
     "fig12": _cmd_fig12,
     "fig13": _cmd_fig13,
@@ -249,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--profile", action="store_true",
                          help="run under cProfile; writes <cache-dir>/"
                               "profiles/<command>.prof and a JSON summary")
+        cmd.add_argument("--replicates", type=int, default=5,
+                         help="bandit seed replicates per workload "
+                              "(replication sweeps)")
+        cmd.add_argument("--deterministic-manifest", action="store_true",
+                         help="zero wall-clock fields in the run manifest "
+                              "so identical runs produce byte-identical "
+                              "manifests")
         cmd.add_argument("--sanitize", action="store_true",
                          help="replay every compiled-kernel run through the "
                               "object path too and assert step-by-step "
@@ -299,6 +353,7 @@ def main(argv=None) -> int:
         manifest_path = Path(args.cache_dir) / f"{args.command}.manifest.json"
         telemetry.write_manifest(
             manifest_path, command=args.command,
+            deterministic=args.deterministic_manifest,
             argv=list(argv) if argv is not None else sys.argv[1:],
             jobs=args.jobs,
         )

@@ -1,0 +1,994 @@
+"""Batched lane replay kernel: N independent runs advanced as array columns.
+
+A *lane* is one independent replay of the same compiled trace — a fixed
+ensemble arm, the no-prefetch baseline, or a seeded Micro-Armed Bandit run.
+The replication sweeps (fig08/fig10, ``best_static_arm``) replay the same
+trace through 11+ such lanes; the scalar path simulates them one at a time,
+re-deriving per-record state that is in fact *lane-invariant*:
+
+- **Core index stream.** Instruction indices, dispatch-cost increments, and
+  the ROB-boundary anchor *record* depend only on the trace's ``inst_gap``
+  sequence, so they are precomputed once with vectorized numpy (the anchor
+  via one ``searchsorted`` over the cumulative index stream).
+- **L1 contents.** L2 prefetch fills never touch the L1, and demand fills
+  are trace-ordered, so L1 hit/miss, victim choice, and victim dirtiness are
+  identical across lanes — simulated once in a shared pre-pass.
+- **Prefetcher training.** The stride/stream tables train on the L1-miss
+  stream regardless of the active degree (the ensemble property §5.2 leans
+  on), and training reads only ``(pc, block)`` — lane-invariant. The
+  pre-pass trains real ``StridePrefetcher``/``StreamPrefetcher`` instances
+  once and records, per miss record, whether each component would emit and
+  with what stride/direction; a lane's candidate list is then a pure
+  function of its current arm degrees.
+
+What *does* diverge per lane — L2/LLC contents, MSHR state, DRAM channel
+timing, retire/dispatch clocks — is held as numpy ``(N,)`` columns for the
+core clocks (every L1-hit record updates all lanes in a few vector ops) and
+as plain per-lane dicts for the memory side, updated by an exact per-lane
+transcription of :func:`~repro.core_model.replay_kernel.run_replay_kernel`
+on L1-miss records (all lanes miss together, because hit/miss is shared).
+
+The arithmetic is bit-identical to the scalar kernel: vector adds/maxima on
+float64 columns perform the same IEEE-754 operations in the same order as
+the scalar locals, so every lane's IPC, cycle counts, and hierarchy stats
+match ``TraceCore.run_compiled`` exactly (asserted lane-by-lane under
+``REPRO_SANITIZE=1``, and in ``tests/test_lane_kernel.py``).
+
+``REPRO_LANE_KERNEL=0`` (or any ineligible lane/config) falls back to the
+scalar runners, one process-visible result list either way.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bandit.hardware import MicroArmedBandit
+from repro.bandit.rewards import PerformanceCounters
+from repro.constants import NUM_STREAM_TRACKERS, NUM_STRIDE_TRACKERS
+from repro.core_model.sanitizer import StepRecord, sanitize_enabled
+from repro.core_model.trace_core import CoreConfig
+from repro.prefetch.ensemble import TABLE7_ARMS
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.uncore.hierarchy import (
+    HierarchyConfig,
+    HierarchyStats,
+    PrefetchOutcome,
+)
+from repro.workloads.compiled import CompiledTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.experiments.configs import PrefetchBanditParams
+    from repro.experiments.prefetch import PrefetchRunResult
+
+#: Set to ``0`` to force every lane batch down the scalar runner path.
+LANE_KERNEL_ENV = "REPRO_LANE_KERNEL"
+
+_INF = float("inf")
+
+#: Lane kinds the kernel understands.
+_KINDS = ("none", "arm", "bandit")
+
+
+@dataclass(frozen=True)
+class LaneSpec:
+    """One lane of a batch: a single independent replay configuration.
+
+    ``kind`` is ``"none"`` (no prefetcher), ``"arm"`` (fixed ensemble arm —
+    ``arm`` required), or ``"bandit"`` (Micro-Armed Bandit with ``seed``).
+    """
+
+    kind: str
+    arm: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown lane kind {self.kind!r}")
+        if self.kind == "arm" and self.arm is None:
+            raise ValueError("arm lanes require an arm index")
+
+
+def lane_kernel_enabled() -> bool:
+    """Whether the batched kernel may be used (``REPRO_LANE_KERNEL``)."""
+    return os.environ.get(LANE_KERNEL_ENV, "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def lane_batch_eligible(
+    trace: object,
+    lanes: Sequence[LaneSpec],
+    params: "PrefetchBanditParams",
+) -> bool:
+    """Whether every lane can run through the batched kernel.
+
+    Requires a compiled trace, known lane kinds, in-range arm ids, and a
+    single stride/stream tracker geometry across all prefetching lanes
+    (arm lanes use the module defaults, bandit lanes use ``params``) —
+    the shared training pre-pass simulates exactly one table pair.
+    """
+    if not isinstance(trace, CompiledTrace) or len(trace) == 0:
+        return False
+    if not lanes:
+        return False
+    tracker_pairs = set()
+    for lane in lanes:
+        if lane.kind == "arm":
+            if lane.arm is None or not 0 <= lane.arm < len(TABLE7_ARMS):
+                return False
+            tracker_pairs.add((NUM_STRIDE_TRACKERS, NUM_STREAM_TRACKERS))
+        elif lane.kind == "bandit":
+            # The kernel installs the post-first-hook threshold state
+            # directly, which is only equivalent to the scalar kernel's
+            # initial -inf thresholds when the first record cannot end a
+            # bandit step on its own.
+            if params.step_l2_accesses < 1:
+                return False
+            tracker_pairs.add(
+                (params.num_stride_trackers, params.num_stream_trackers)
+            )
+        elif lane.kind != "none":
+            return False
+    return len(tracker_pairs) <= 1
+
+
+def run_lane_batch(
+    trace: object,
+    lanes: Sequence[LaneSpec],
+    hierarchy_config: HierarchyConfig,
+    core_config: CoreConfig,
+    params: Optional["PrefetchBanditParams"] = None,
+) -> List["PrefetchRunResult"]:
+    """Replay ``trace`` through every lane; one result per lane, in order.
+
+    Dispatches to the batched kernel when enabled and eligible, otherwise
+    to the scalar runners (`run_fixed_prefetcher`/`run_fixed_arm`/
+    `run_bandit_prefetch`) lane by lane. Results are bit-identical either
+    way; under ``REPRO_SANITIZE=1`` the kernel path additionally replays
+    every lane through the object path and asserts lane-by-lane
+    equivalence (see :func:`repro.core_model.sanitizer.verify_lane_batch`).
+    """
+    lanes = list(lanes)
+    if params is None:
+        from repro.experiments.configs import PREFETCH_BANDIT_CONFIG
+
+        params = PREFETCH_BANDIT_CONFIG
+    if not lanes:
+        return []
+    if (
+        not lane_kernel_enabled()
+        or core_config.rob_size <= 0
+        or not lane_batch_eligible(trace, lanes, params)
+    ):
+        return _run_lanes_scalar(
+            trace, lanes, hierarchy_config, core_config, params
+        )
+    sanitize = sanitize_enabled()
+    results, checkpoints, step_logs = _lane_kernel(
+        trace, lanes, hierarchy_config, core_config, params,
+        collect_logs=sanitize,
+    )
+    if sanitize:
+        from repro.core_model.sanitizer import verify_lane_batch
+
+        verify_lane_batch(
+            trace, lanes, results, checkpoints, step_logs,
+            hierarchy_config, core_config, params,
+        )
+    return results
+
+
+def _run_lanes_scalar(
+    trace: object,
+    lanes: Sequence[LaneSpec],
+    hierarchy_config: HierarchyConfig,
+    core_config: CoreConfig,
+    params: "PrefetchBanditParams",
+) -> List["PrefetchRunResult"]:
+    """Scalar fallback: one full runner invocation per lane."""
+    from repro.experiments.prefetch import (
+        run_bandit_prefetch,
+        run_fixed_arm,
+        run_fixed_prefetcher,
+    )
+
+    results = []
+    for lane in lanes:
+        if lane.kind == "none":
+            results.append(run_fixed_prefetcher(
+                trace, "none", hierarchy_config, core_config
+            ))
+        elif lane.kind == "arm":
+            results.append(run_fixed_arm(
+                trace, lane.arm, hierarchy_config, core_config
+            ))
+        else:
+            results.append(run_bandit_prefetch(
+                trace, hierarchy_config=hierarchy_config,
+                core_config=core_config, params=params, seed=lane.seed,
+            ))
+    return results
+
+
+# ============================================================ shared pre-pass
+
+
+def _shared_prepass(
+    trace: CompiledTrace,
+    hierarchy_config: HierarchyConfig,
+    core_config: CoreConfig,
+    num_stride_trackers: int,
+    num_stream_trackers: int,
+) -> Dict[str, object]:
+    """Compute every lane-invariant per-record quantity, once.
+
+    Produces the core index/anchor stream (vectorized), the full L1
+    simulation (hit flag + victim block/dirtiness per record), and the
+    stride/stream training outcomes per L1-miss record.
+    """
+    pcs, blocks, flags_l, gaps_l = trace.as_lists()
+    total = len(pcs)
+    commit_cost = 1.0 / core_config.commit_width
+    dispatch_cost = 1.0 / core_config.dispatch_width
+
+    # ---- core index / ROB anchor stream (vectorized) ----
+    gaps_arr = trace.inst_gap.astype(np.int64)
+    idx = np.cumsum(gaps_arr + 1)
+    boundary = idx - core_config.rob_size
+    # Anchor record for row t: the youngest earlier record whose index is
+    # <= boundary_t (consumed window entries stay anchored — boundary is
+    # strictly increasing, so "last consumed" == "largest index <= boundary").
+    anchor_row = np.searchsorted(idx, boundary, side="right") - 1
+    anchor_idx = np.where(anchor_row >= 0, idx[np.maximum(anchor_row, 0)], 0)
+    behind = boundary - anchor_idx
+    # floor = anchor_retire + behind*commit_cost when behind > 0, else
+    # anchor_retire; adding +0.0 is a bit-exact identity on the non-negative
+    # retire values, so a zeroed addend folds both cases into one add.
+    boost = np.where(behind > 0, behind, 0).astype(np.float64) * commit_cost
+    # Floor gather plan: the kernel's retire log keeps a permanent zero row
+    # at index 0, so ``rlog[anchor_row + 1] + boost`` is the floor for every
+    # row at once — anchor -1 (ROB never filled) gathers 0.0 and the
+    # boost-only and no-floor cases collapse into the same (no-op) maximum.
+    # Rows are grouped into blocks whose anchors all precede the block
+    # start, so each block's floors gather from final rlog rows in two
+    # vector ops; a row whose anchor lands inside the current block (ROB
+    # span shorter than the block) simply opens a new block.
+    anchor_l = anchor_row.tolist()
+    floor_blocks = [0]
+    cur = 0
+    for t, a in enumerate(anchor_l):
+        if a >= cur and t > cur:
+            cur = t
+            floor_blocks.append(t)
+
+    # ---- shared L1 simulation + prefetcher training ----
+    block_bytes = hierarchy_config.block_bytes
+    l1_num_sets = hierarchy_config.l1_size_bytes // (
+        hierarchy_config.l1_ways * block_bytes
+    )
+    l1_ways = hierarchy_config.l1_ways
+    l1_sets: List[Dict[int, bool]] = [{} for _ in range(l1_num_sets)]
+    hit = bytearray(total)
+    l1_victim = [-1] * total
+    l1_victim_dirty = bytearray(total)
+    st_ok = bytearray(total)
+    st_stride = [0] * total
+    sm_ok = bytearray(total)
+    sm_dir = [0] * total
+    # Real component instances at degree 1: training is degree-independent,
+    # and a non-empty emission directly yields (ok, stride/direction).
+    stride_pf = StridePrefetcher(degree=1, num_trackers=num_stride_trackers)
+    stream_pf = StreamPrefetcher(degree=1, num_trackers=num_stream_trackers)
+    stride_observe = stride_pf.observe
+    stream_observe = stream_pf.observe
+    stores = 0
+
+    for t in range(total):
+        block = blocks[t]
+        is_write = flags_l[t] & 1
+        if is_write:
+            stores += 1
+        cache_set = l1_sets[block % l1_num_sets]
+        dirty = cache_set.pop(block, None)
+        if dirty is not None:
+            cache_set[block] = True if is_write else dirty
+            hit[t] = 1
+            continue
+        # L1 miss: train the shared tables, record the emission outcome.
+        st = stride_observe(pcs[t], block, 0.0, False)
+        if st:
+            st_ok[t] = 1
+            st_stride[t] = st[0] - block
+        sm = stream_observe(pcs[t], block, 0.0, False)
+        if sm:
+            sm_ok[t] = 1
+            sm_dir[t] = sm[0] - block
+        if len(cache_set) >= l1_ways:
+            for victim_block in cache_set:
+                break
+            l1_victim[t] = victim_block
+            l1_victim_dirty[t] = 1 if cache_set.pop(victim_block) else 0
+        cache_set[block] = bool(is_write)
+
+    return {
+        "total": total,
+        "pcs": pcs,
+        "blocks": blocks,
+        "flags": flags_l,
+        "gaps": gaps_l,
+        "idx": idx.tolist(),
+        "anchor_row": anchor_l,
+        "anchor_gidx": anchor_row + 1,
+        "boost_arr": boost,
+        "floor_blocks": floor_blocks,
+        "gap_retire": (gaps_arr.astype(np.float64) * commit_cost).tolist(),
+        "gap_dispatch": (gaps_arr.astype(np.float64) * dispatch_cost).tolist(),
+        "hit": hit,
+        "l1_victim": l1_victim,
+        "l1_victim_dirty": l1_victim_dirty,
+        "st_ok": st_ok,
+        "st_stride": st_stride,
+        "sm_ok": sm_ok,
+        "sm_dir": sm_dir,
+        "loads": total - stores,
+        "stores": stores,
+        "commit_cost": commit_cost,
+        "dispatch_cost": dispatch_cost,
+    }
+
+
+# ================================================================ the kernel
+
+
+def _lane_checkpoint(
+    checkpoint_logs: List[List[StepRecord]],
+    t: int,
+    instructions: int,
+    retire: np.ndarray,
+    l2da: int,
+) -> None:
+    """Record one sanitizer checkpoint row for every lane."""
+    retire_l = retire.tolist()
+    for i, log in enumerate(checkpoint_logs):
+        retire_i = retire_l[i]
+        log.append(StepRecord(
+            step=t + 1,
+            instructions=instructions,
+            cycles=retire_i,
+            ipc=instructions / retire_i if retire_i else 0.0,
+            l2_demand_accesses=l2da,
+        ))
+
+
+def _lane_kernel(
+    trace: CompiledTrace,
+    lanes: List[LaneSpec],
+    hierarchy_config: HierarchyConfig,
+    core_config: CoreConfig,
+    params: "PrefetchBanditParams",
+    collect_logs: bool = False,
+) -> Tuple[
+    List["PrefetchRunResult"],
+    List[List[StepRecord]],
+    Dict[int, List[StepRecord]],
+]:
+    """Advance every lane through the trace in one fused pass.
+
+    Returns ``(results, checkpoint_logs, bandit_step_logs)``; the logs are
+    only populated when ``collect_logs`` (the sanitizer's capture).
+    """
+    from repro.experiments.prefetch import PrefetchRunResult
+
+    num_lanes = len(lanes)
+    has_bandit = any(lane.kind == "bandit" for lane in lanes)
+    tracker_pair = (
+        (params.num_stride_trackers, params.num_stream_trackers)
+        if has_bandit
+        else (NUM_STRIDE_TRACKERS, NUM_STREAM_TRACKERS)
+    )
+    pre = _shared_prepass(
+        trace, hierarchy_config, core_config, *tracker_pair
+    )
+    total = pre["total"]
+    blocks = pre["blocks"]
+    flags_l = pre["flags"]
+    gaps_l = pre["gaps"]
+    idx_l = pre["idx"]
+    anchor_gidx = pre["anchor_gidx"]
+    boost_arr = pre["boost_arr"]
+    floor_blocks = pre["floor_blocks"]
+    gap_retire = pre["gap_retire"]
+    gap_dispatch = pre["gap_dispatch"]
+    hit = pre["hit"]
+    l1_victim = pre["l1_victim"]
+    l1_victim_dirty = pre["l1_victim_dirty"]
+    st_ok = pre["st_ok"]
+    st_stride_l = pre["st_stride"]
+    sm_ok = pre["sm_ok"]
+    sm_dir_l = pre["sm_dir"]
+    commit_cost = pre["commit_cost"]
+
+    config = hierarchy_config
+    l1_latency = config.l1_latency
+    l2_latency = config.l2_latency
+    llc_latency = config.llc_latency
+    max_inflight_prefetches = config.max_inflight_prefetches
+    mshr_capacity = config.mshr_entries
+    block_bytes = config.block_bytes
+    l2_num_sets = config.l2_size_bytes // (config.l2_ways * block_bytes)
+    llc_num_sets = config.llc_size_bytes // (config.llc_ways * block_bytes)
+    l2_ways = config.l2_ways
+    llc_ways = config.llc_ways
+    # DRAM channel constants (mirrors DRAMModel.access/writeback).
+    transfers_per_cycle = config.dram_mtps * 1e6 / (
+        config.core_frequency_ghz * 1e9
+    )
+    dram_line_cost = 8 / transfers_per_cycle
+    dram_latency = config.dram_latency
+
+    # ---- per-lane memory-side state (plain Python; victim choice is dict
+    # order, so recency stamps are never consulted and are dropped).  L2
+    # lines are packed small ints (bit0 prefetched, bit1 used, bit2 dirty)
+    # and LLC lines a bare dirty bool (its other flags are never read), so
+    # cache fills allocate nothing ----
+    l2_sets = [
+        [{} for _ in range(l2_num_sets)] for _ in range(num_lanes)
+    ]  # type: List[List[Dict[int, int]]]
+    llc_sets = [
+        [{} for _ in range(llc_num_sets)] for _ in range(num_lanes)
+    ]  # type: List[List[Dict[int, bool]]]
+    # In-flight fills: block -> ready cycle, negated for prefetch fills
+    # (ready cycles are strictly positive, so the sign carries is_pf).
+    inflight: List[Dict[int, float]] = [dict() for _ in range(num_lanes)]
+    heaps: List[list] = [[] for _ in range(num_lanes)]
+    nfr = [_INF] * num_lanes  # next MSHR fill-ready cycle, per lane
+    ipf = [0] * num_lanes  # in-flight prefetch count
+    dram_free = [0.0] * num_lanes  # DRAM channel-free cycle
+
+    # Every lane misses L1 together, so L2 demand accesses are a single
+    # shared counter, not a per-lane column.
+    l2da = 0
+    l2dh = [0] * num_lanes
+    llcda = [0] * num_lanes
+    llcdh = [0] * num_lanes
+    dram_fills = [0] * num_lanes
+    writebacks = [0] * num_lanes
+    pf_issued = [0] * num_lanes
+    pf_timely = [0] * num_lanes
+    pf_late = [0] * num_lanes
+    pf_wrong = [0] * num_lanes
+    pf_dropped = [0] * num_lanes
+
+    # ---- per-lane prefetcher configuration (EnsemblePrefetcher.set_arm
+    # collapses to one packed (next_line, stride_deg, stream_deg) register
+    # tuple; "none" lanes carry None and never observe) ----
+    lane_arm: List[Optional[Tuple[bool, int, int]]] = [
+        None if lane.kind == "none" else (False, 0, 0) for lane in lanes
+    ]
+
+    def apply_arm(i: int, arm_id: int) -> None:
+        spec = TABLE7_ARMS[arm_id]
+        lane_arm[i] = (
+            spec.next_line, spec.stride_degree, spec.stream_degree
+        )
+
+    # ---- bandit lanes (real MicroArmedBandit + DUCB objects per lane;
+    # only the ensemble's degree registers are virtualized) ----
+    is_bandit = [lane.kind == "bandit" for lane in lanes]
+    bandit_lanes = [i for i, flag in enumerate(is_bandit) if flag]
+    bandits: List[Optional[MicroArmedBandit]] = [None] * num_lanes
+    algorithms: List[object] = [None] * num_lanes
+    pending = [0] * num_lanes
+    applied = [0] * num_lanes
+    next_boundary = [0] * num_lanes
+    hook_l2 = [_INF] * num_lanes
+    hook_cyc = [_INF] * num_lanes
+    arm_traces: List[List[Tuple[float, int]]] = [[] for _ in range(num_lanes)]
+    step_accesses = params.step_l2_accesses
+
+    step_logs: Dict[int, List[StepRecord]] = {}
+    checkpoint_logs: List[List[StepRecord]] = [[] for _ in range(num_lanes)]
+    if collect_logs:
+        from repro.core_model.sanitizer import _CHECKPOINTS
+
+        cp_stride = max(1, total // _CHECKPOINTS)
+    else:
+        cp_stride = 0
+
+    def log_step(i: int, instructions: int, retire_i: float) -> None:
+        log = step_logs[i]
+        algorithm = algorithms[i]
+        log.append(StepRecord(
+            step=len(log),
+            instructions=instructions,
+            cycles=retire_i,
+            ipc=instructions / retire_i if retire_i else 0.0,
+            l2_demand_accesses=l2da,
+            arm=pending[i],
+            reward_estimates=tuple(algorithm.reward_estimates()),
+            selection_counts=tuple(algorithm.selection_counts()),
+        ))
+
+    if has_bandit:
+        from repro.experiments.configs import prefetch_bandit_algorithm
+
+        for i, lane in enumerate(lanes):
+            if not is_bandit[i]:
+                continue
+            algorithm = prefetch_bandit_algorithm(
+                seed=lane.seed, params=params
+            )
+            bandit = MicroArmedBandit(
+                algorithm,
+                selection_latency_cycles=params.selection_latency_cycles,
+            )
+            # Mirrors run_bandit_prefetch's episode setup on a fresh core.
+            bandit.reset_counters(PerformanceCounters(0, 0.0))
+            arm = bandit.begin_step(0.0)
+            pending[i] = arm
+            applied[i] = arm
+            apply_arm(i, arm)
+            arm_traces[i] = [(0.0, arm)]
+            next_boundary[i] = step_accesses
+            algorithms[i] = algorithm
+            bandits[i] = bandit
+            # The scalar kernel's initial -inf thresholds fire the hook
+            # after the first record just to install real thresholds; with
+            # step_l2_accesses >= 1 (enforced by eligibility) anything that
+            # first fire could do — at most ending a step when record 0 is
+            # an L2 access and the step budget is 1 — is reproduced by the
+            # ordinary end-of-miss-row threshold check, so the post-fire
+            # state is installed directly: the l2 threshold is the first
+            # boundary and no cycle threshold is armed.
+            hook_l2[i] = next_boundary[i]
+            if collect_logs:
+                step_logs[i] = []
+                log_step(i, 0, 0.0)
+
+    for i, lane in enumerate(lanes):
+        if lane.kind == "arm":
+            apply_arm(i, lane.arm)  # type: ignore[arg-type]
+
+    # repro: mirror[lane-bandit-step]
+    def fire_hook(i: int, retire_i: float, instructions: int) -> None:
+        """Per-lane transcription of run_bandit_prefetch's bandit_hook."""
+        bandit = bandits[i]
+        if pending[i] != applied[i] and retire_i >= bandit.selection_ready_cycle:
+            apply_arm(i, pending[i])
+            applied[i] = pending[i]
+        if l2da >= next_boundary[i]:
+            next_boundary[i] = l2da + step_accesses
+            bandit.end_step(PerformanceCounters(instructions, retire_i))
+            pending[i] = bandit.begin_step(retire_i)
+            arm_traces[i].append((retire_i, pending[i]))
+            if collect_logs:
+                log_step(i, instructions, retire_i)
+        hook_l2[i] = next_boundary[i]
+        hook_cyc[i] = (
+            bandit.selection_ready_cycle
+            if pending[i] != applied[i] else _INF
+        )
+
+    # repro: mirror[lane-fill-llc]
+    def fill_llc(i: int, block: int, dirty: bool) -> None:
+        """Per-lane transcription of the scalar kernel's fill_llc closure."""
+        cache_set = llc_sets[i][block % llc_num_sets]
+        existing = cache_set.pop(block, None)
+        if existing is not None:
+            cache_set[block] = existing or dirty
+            return
+        if len(cache_set) >= llc_ways:
+            for victim_block in cache_set:
+                break
+            victim_dirty = cache_set.pop(victim_block)
+            cache_set[block] = dirty
+            if victim_dirty:
+                writebacks[i] += 1
+                dram_free[i] += dram_line_cost
+        else:
+            cache_set[block] = dirty
+
+    # repro: mirror[lane-fill-l2]
+    def fill_l2(i: int, block: int, line: int) -> None:
+        """Per-lane transcription of the scalar kernel's fill_l2 closure.
+
+        ``line`` is the packed incoming flags (bit0 prefetched, bit2
+        dirty); an existing line only absorbs the dirty bit, as the
+        object path's fill does.
+        """
+        cache_set = l2_sets[i][block % l2_num_sets]
+        existing = cache_set.pop(block, None)
+        if existing is not None:
+            cache_set[block] = existing | (line & 4)
+            return
+        if len(cache_set) >= l2_ways:
+            for victim_block in cache_set:
+                break
+            victim = cache_set.pop(victim_block)
+            if victim & 1 and not victim & 2:
+                pf_wrong[i] += 1
+            cache_set[block] = line
+            if victim & 4:
+                fill_llc(i, victim_block, True)
+        else:
+            cache_set[block] = line
+
+    def drain_mshr(i: int, cycle_i: float) -> None:
+        """MSHR drain for one lane: complete every fill now ready.
+
+        The clean-fill ``fill_l2``/``fill_llc`` bodies are inlined — this
+        is the hot fill path (roughly one fill per lane per miss row).
+        """
+        heap = heaps[i]
+        inflight_i = inflight[i]
+        l2_sets_i = l2_sets[i]
+        llc_sets_i = llc_sets[i]
+        while heap and heap[0][0] <= cycle_i:
+            fill_block = heappop(heap)[1]
+            entry = inflight_i.pop(fill_block, None)
+            if entry is None:
+                continue  # superseded entry
+            if entry < 0:
+                ipf[i] -= 1
+                line = 1
+            else:
+                line = 0
+            cache_set = l2_sets_i[fill_block % l2_num_sets]
+            existing = cache_set.pop(fill_block, None)
+            if existing is not None:
+                cache_set[fill_block] = existing
+            elif len(cache_set) >= l2_ways:
+                for victim_block in cache_set:
+                    break
+                victim = cache_set.pop(victim_block)
+                if victim & 1 and not victim & 2:
+                    pf_wrong[i] += 1
+                cache_set[fill_block] = line
+                if victim & 4:
+                    fill_llc(i, victim_block, True)
+            else:
+                cache_set[fill_block] = line
+            cache_set = llc_sets_i[fill_block % llc_num_sets]
+            existing = cache_set.pop(fill_block, None)
+            if existing is not None:
+                cache_set[fill_block] = existing
+            elif len(cache_set) >= llc_ways:
+                for victim_block in cache_set:
+                    break
+                victim_dirty = cache_set.pop(victim_block)
+                cache_set[fill_block] = False
+                if victim_dirty:
+                    writebacks[i] += 1
+                    dram_free[i] += dram_line_cost
+            else:
+                cache_set[fill_block] = False
+        nfr[i] = heap[0][0] if heap else _INF
+
+    # ---- per-lane core clocks as (N,) float64 columns; rlog[t + 1] is the
+    # retire-time column after row t, and row 0 is a permanent zero row so
+    # the no-anchor floor gathers 0.0 and every row takes the same maximum ----
+    retire = np.zeros(num_lanes)
+    dispatch = np.zeros(num_lanes)
+    llr = np.zeros(num_lanes)  # last_load_ready
+    rlog = np.zeros((total + 1, num_lanes))
+
+    dispatch_cost = pre["dispatch_cost"]
+    maximum = np.maximum
+    num_blocks = len(floor_blocks)
+    for b in range(num_blocks):
+        blk_s = floor_blocks[b]
+        blk_e = floor_blocks[b + 1] if b + 1 < num_blocks else total
+        # Every anchor in the block precedes blk_s (the pre-pass block
+        # builder guarantees it), so the gathered rlog rows are final and
+        # the whole block's retire floors cost two vector ops.
+        floors = rlog[anchor_gidx[blk_s:blk_e]]
+        floors += boost_arr[blk_s:blk_e, None]
+        for t in range(blk_s, blk_e):
+            gap_d = gap_dispatch[t]
+            if gap_d:
+                retire += gap_retire[t]
+                dispatch += gap_d
+            dispatch += dispatch_cost
+            maximum(dispatch, floors[t - blk_s], out=dispatch)
+
+            rflags = flags_l[t]
+            is_write = rflags & 1
+            if hit[t]:
+                if is_write:
+                    retire += commit_cost
+                else:
+                    if rflags & 2:  # FLAG_DEPENDENT
+                        cycle = maximum(dispatch, llr)
+                    else:
+                        cycle = dispatch
+                    ready = cycle + l1_latency
+                    llr = ready
+                    retire += commit_cost
+                    maximum(retire, ready, out=retire)
+                rlog[t + 1] = retire
+                if cp_stride and ((t + 1) % cp_stride == 0 or t + 1 == total):
+                    _lane_checkpoint(
+                        checkpoint_logs, t, idx_l[t], retire, l2da
+                    )
+                continue
+
+            # L1 miss on every lane: per-lane memory-side transcription.
+            if not is_write and rflags & 2:  # FLAG_DEPENDENT
+                cycle = maximum(dispatch, llr)
+            else:
+                cycle = dispatch
+            block = blocks[t]
+            bs2 = block % l2_num_sets
+            bsl = block % llc_num_sets
+            cycle_l = cycle.tolist()
+            retire_l = retire.tolist()
+            ready_l = cycle_l  # overwritten per lane below (loads only)
+            if not is_write:
+                ready_l = [0.0] * num_lanes
+            victim_block_t = l1_victim[t]
+            victim_wb = victim_block_t >= 0 and l1_victim_dirty[t]
+            nl_cand = block + 1
+            st_d_row = st_stride_l[t]
+            sm_d_row = sm_dir_l[t]
+            st_hit_row = st_ok[t]
+            sm_hit_row = sm_ok[t]
+            cand_memo: Dict[Tuple[bool, int, int], List[int]] = {}
+            # Every lane misses together: one shared demand-access bump.
+            # Nothing between here and the end-of-row hook check reads it
+            # except fire_hook, which only runs there.
+            l2da += 1
+            if bandit_lanes:
+                # Deferred cycle-threshold hook: a selection that came
+                # ready by the end of the previous record only swaps the
+                # degree registers, which are first read below — l2
+                # accesses cannot cross a step boundary on hit rows, so
+                # applying the pending arm is the fire's only observable
+                # effect.  The check uses retire as of the end of row t-1
+                # (rlog row t): the scalar hook never sees this row's
+                # ROB-gap retire increment.
+                prev_retire_l = rlog[t].tolist()
+                for i in bandit_lanes:
+                    if prev_retire_l[i] >= hook_cyc[i]:
+                        apply_arm(i, pending[i])
+                        applied[i] = pending[i]
+                        hook_cyc[i] = _INF
+            # repro: mirror[lane-demand-path] begin
+            for i in range(num_lanes):
+                cycle_i = cycle_l[i]
+                if nfr[i] <= cycle_i:
+                    # Deferred MSHR drain: fills that came ready during the
+                    # hit rows since this lane's last miss are unobservable
+                    # until this probe, and the ready-heap preserves their
+                    # completion order, so draining them here is exact.
+                    drain_mshr(i, cycle_i)
+                l2_cycle = cycle_i + l1_latency
+                l2_sets_i = l2_sets[i]
+                llc_sets_i = llc_sets[i]
+                l2_set = l2_sets_i[bs2]
+                l2_line = l2_set.pop(block, None)
+                inflight_i = inflight[i]
+                if l2_line is not None:
+                    l2dh[i] += 1
+                    if l2_line & 1:
+                        pf_timely[i] += 1
+                        l2_set[block] = (l2_line | 2) & ~1
+                    else:
+                        l2_set[block] = l2_line | 2
+                    ready_i = l2_cycle + l2_latency
+                else:
+                    entry = inflight_i.get(block)
+                    if entry is not None:
+                        if entry < 0:
+                            pf_late[i] += 1
+                            entry = -entry
+                            inflight_i[block] = entry
+                            ipf[i] -= 1
+                        l2_ready = l2_cycle + l2_latency
+                        ready_i = entry if entry > l2_ready else l2_ready
+                    else:
+                        llc_cycle = l2_cycle + l2_latency
+                        llcda[i] += 1
+                        llc_set = llc_sets_i[bsl]
+                        llc_line = llc_set.pop(block, None)
+                        if llc_line is not None:
+                            llc_set[block] = llc_line
+                            llcdh[i] += 1
+                            ready_i = llc_cycle + llc_latency
+                            # fill_l2(block, 0): the block just missed
+                            # this set, so no existing-line check.
+                            if len(l2_set) >= l2_ways:
+                                for victim_block in l2_set:
+                                    break
+                                victim = l2_set.pop(victim_block)
+                                if victim & 1 and not victim & 2:
+                                    pf_wrong[i] += 1
+                                l2_set[block] = 0
+                                if victim & 4:
+                                    fill_llc(i, victim_block, True)
+                            else:
+                                l2_set[block] = 0
+                        else:
+                            request = llc_cycle + llc_latency
+                            channel_free = dram_free[i]
+                            start = (request if request > channel_free
+                                     else channel_free)
+                            dram_free[i] = start + dram_line_cost
+                            ready_i = start + dram_latency
+                            dram_fills[i] += 1
+                            if len(inflight_i) < mshr_capacity:
+                                inflight_i[block] = ready_i
+                                heappush(heaps[i], (ready_i, block))
+                                if ready_i < nfr[i]:
+                                    nfr[i] = ready_i
+                            else:
+                                # MSHR pressure: untracked immediate fill.
+                                fill_l2(i, block, 0)
+                                fill_llc(i, block, False)
+                # L1 fill is shared state (pre-pass); only a dirty victim's
+                # L2 writeback diverges per lane.
+                if victim_wb:
+                    fill_l2(i, victim_block_t, 4)
+                arm_t = lane_arm[i]
+                if arm_t is not None:
+                    nl_on, st_d, sm_d = arm_t
+                    if not st_hit_row:
+                        st_d = 0
+                    if not sm_hit_row:
+                        sm_d = 0
+                    if nl_on or st_d or sm_d:
+                        key = (nl_on, st_d, sm_d)
+                        candidates = cand_memo.get(key)
+                        if candidates is None:
+                            # EnsemblePrefetcher.observe's emission order:
+                            # next-line, then deduped stride, then stream.
+                            nl = [nl_cand] if nl_on else []
+                            st = ([block + st_d_row * k
+                                   for k in range(1, st_d + 1)]
+                                  if st_d else [])
+                            sm = ([block + sm_d_row * k
+                                   for k in range(1, sm_d + 1)]
+                                  if sm_d else [])
+                            if not st and not sm:
+                                candidates = nl
+                            else:
+                                candidates = list(nl)
+                                seen = set(nl)
+                                for cand in st:
+                                    if cand not in seen:
+                                        seen.add(cand)
+                                        candidates.append(cand)
+                                for cand in sm:
+                                    if cand not in seen:
+                                        seen.add(cand)
+                                        candidates.append(cand)
+                            cand_memo[key] = candidates
+                        for cand in candidates:
+                            if cand < 0 or cand in l2_sets_i[
+                                cand % l2_num_sets
+                            ] or cand in inflight_i:
+                                continue
+                            if (ipf[i] >= max_inflight_prefetches
+                                    or len(inflight_i) >= mshr_capacity):
+                                pf_dropped[i] += 1
+                                continue
+                            pf_issued[i] += 1
+                            if cand in llc_sets_i[cand % llc_num_sets]:
+                                pf_ready = cycle_i + l2_latency + llc_latency
+                            else:
+                                request = cycle_i + l2_latency + llc_latency
+                                channel_free = dram_free[i]
+                                start = (request if request > channel_free
+                                         else channel_free)
+                                dram_free[i] = start + dram_line_cost
+                                pf_ready = start + dram_latency
+                            inflight_i[cand] = -pf_ready
+                            heappush(heaps[i], (pf_ready, cand))
+                            if pf_ready < nfr[i]:
+                                nfr[i] = pf_ready
+                            ipf[i] += 1
+                # On write rows ready_l aliases cycle_l; cycle_l[i] was
+                # already consumed, so the stray write is harmless.
+                ready_l[i] = ready_i
+            # repro: mirror[lane-demand-path] end
+            if is_write:
+                retire += commit_cost
+            else:
+                new_retire = [0.0] * num_lanes
+                for i in range(num_lanes):
+                    next_retire = retire_l[i] + commit_cost
+                    ready_i = ready_l[i]
+                    new_retire[i] = (ready_i if ready_i > next_retire
+                                     else next_retire)
+                retire = np.array(new_retire)
+                llr = np.array(ready_l)
+            rlog[t + 1] = retire
+
+            # End-of-record hook thresholds, bandit lanes only: the retire
+            # value is recomputed with the same scalar add the vector path
+            # performed, so the comparison is bit-exact.
+            for i in bandit_lanes:
+                retire_i = (retire_l[i] + commit_cost if is_write
+                            else new_retire[i])
+                if l2da >= hook_l2[i] or retire_i >= hook_cyc[i]:
+                    fire_hook(i, retire_i, idx_l[t])
+
+            if cp_stride and ((t + 1) % cp_stride == 0 or t + 1 == total):
+                _lane_checkpoint(checkpoint_logs, t, idx_l[t], retire, l2da)
+
+    # ------------------------------------------------------------- episode end
+    total_instructions = idx_l[-1] if total else 0
+    retire_final = retire.tolist()
+
+    for i in range(num_lanes):
+        if is_bandit[i]:
+            # Trailing partial step (run_bandit_prefetch's flush).
+            bandits[i].flush_step(
+                PerformanceCounters(total_instructions, retire_final[i])
+            )
+            if collect_logs:
+                log_step(i, total_instructions, retire_final[i])
+        # hierarchy.finalize(): flush in-flight fills (heap order at +inf),
+        # then count never-used prefetched L2 lines as wrong.
+        heap = heaps[i]
+        inflight_i = inflight[i]
+        while heap:
+            fill_block = heappop(heap)[1]
+            entry = inflight_i.pop(fill_block, None)
+            if entry is None:
+                continue
+            if entry < 0:
+                ipf[i] -= 1
+                fill_l2(i, fill_block, 1)
+            else:
+                fill_l2(i, fill_block, 0)
+            fill_llc(i, fill_block, False)
+        for cache_set in l2_sets[i]:
+            for line in cache_set.values():
+                if line & 1 and not line & 2:
+                    pf_wrong[i] += 1
+
+    results: List[PrefetchRunResult] = []
+    for i, lane in enumerate(lanes):
+        retire_i = retire_final[i]
+        stats = HierarchyStats(
+            loads=pre["loads"],
+            stores=pre["stores"],
+            l2_demand_accesses=l2da,
+            l2_demand_hits=l2dh[i],
+            llc_demand_accesses=llcda[i],
+            llc_demand_hits=llcdh[i],
+            dram_demand_fills=dram_fills[i],
+            writebacks=writebacks[i],
+            prefetch=PrefetchOutcome(
+                issued=pf_issued[i],
+                timely=pf_timely[i],
+                late=pf_late[i],
+                wrong=pf_wrong[i],
+                dropped=pf_dropped[i],
+            ),
+        )
+        if lane.kind == "bandit":
+            arm_history = list(algorithms[i].selection_history)
+            arm_trace = arm_traces[i]
+        elif lane.kind == "arm":
+            arm_history = [lane.arm]
+            arm_trace = []
+        else:
+            arm_history = []
+            arm_trace = []
+        results.append(PrefetchRunResult(
+            ipc=total_instructions / retire_i if retire_i else 0.0,
+            instructions=total_instructions,
+            cycles=retire_i,
+            stats=stats,
+            arm_history=arm_history,
+            arm_trace=arm_trace,
+            records=total,
+        ))
+    return results, checkpoint_logs, step_logs

@@ -143,6 +143,7 @@ def run_replay_kernel(  # repro: hot
 
     # repro: mirror[fill-llc]
     def fill_llc(block: int, prefetched: bool, dirty: bool) -> None:
+        # repro: mirror[lane-fill-llc] begin
         nonlocal llc_stamp, llc_resident, writebacks
         nonlocal dram_channel_free, dram_writeback_count
         cache_set = llc_sets[block % llc_num_sets]
@@ -175,9 +176,11 @@ def run_replay_kernel(  # repro: hot
             cache_set[block] = CacheLine(block, llc_stamp, prefetched,
                                          False, dirty)
             llc_resident += 1
+        # repro: mirror[lane-fill-llc] end
 
     # repro: mirror[fill-l2]
     def fill_l2(block: int, prefetched: bool, dirty: bool) -> None:
+        # repro: mirror[lane-fill-l2] begin
         nonlocal l2_stamp, l2_resident, pf_wrong
         cache_set = l2_sets[block % l2_num_sets]
         l2_stamp += 1
@@ -206,6 +209,7 @@ def run_replay_kernel(  # repro: hot
             cache_set[block] = CacheLine(block, l2_stamp, prefetched,
                                          False, dirty)
             l2_resident += 1
+        # repro: mirror[lane-fill-l2] end
 
     # Core timing state (mirrors run_compiled's non-kernel loop).
     rob_size = core.config.rob_size
@@ -389,6 +393,7 @@ def run_replay_kernel(  # repro: hot
             continue
 
         # L1 miss -> L2 demand access; this stream trains the L2 prefetcher.
+        # repro: mirror[lane-demand-path] begin
         l1_misses += 1
         l2_cycle = cycle + l1_latency
         l2_demand_accesses += 1
@@ -602,6 +607,7 @@ def run_replay_kernel(  # repro: hot
                 if pf_ready < next_fill_ready:
                     next_fill_ready = pf_ready
                 inflight_prefetches += 1
+        # repro: mirror[lane-demand-path] end
 
         if is_write:
             retire_time += commit_cost

@@ -39,6 +39,7 @@ from repro.experiments.runner import (
     bandit_prefetch_task,
     best_static_arm_tasks,
     fixed_prefetcher_task,
+    lane_batch_task,
     multicore_bandit_task,
     multicore_fixed_task,
     run_parallel,
@@ -585,6 +586,161 @@ def fig10_bandwidth_sweep(
     return {
         mtps: {name: geometric_mean(values) for name, values in point.items()}
         for mtps, point in ratios.items()
+    }
+
+
+# ==================================================== replication sweeps
+
+
+def _replication_lanes(replicates: int, seed: int):
+    """Lane list for one replication sweep member: 11 arms + R bandit seeds."""
+    from repro.core_model.lane_kernel import LaneSpec
+
+    return tuple(
+        [LaneSpec("arm", arm=arm) for arm in range(_num_arms())]
+        + [LaneSpec("bandit", seed=seed + r) for r in range(replicates)]
+    )
+
+
+def _replication_member(
+    base: object, payload: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-workload summary of one lane-batch replication payload."""
+    lane_results = payload["results"]
+    num_arms = _num_arms()
+    base_ipc = base.ipc
+    arm_norms = {
+        arm: lane_results[arm].ipc / base_ipc for arm in range(num_arms)
+    }
+    best_arm = max(arm_norms, key=arm_norms.__getitem__)
+    bandit_norms = [
+        result.ipc / base_ipc for result in lane_results[num_arms:]
+    ]
+    return {
+        "best_static_arm": best_arm,
+        "best_static_norm": arm_norms[best_arm],
+        "bandit_norms": bandit_norms,
+        "bandit_mean": sum(bandit_norms) / len(bandit_norms),
+        "bandit_min": min(bandit_norms),
+        "bandit_max": max(bandit_norms),
+    }
+
+
+def fig08_replication_sweep(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    replicates: int = 5,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """Seed-replication study behind Figure 8's bandit bars.
+
+    For every workload, the full 11-arm static fan-out plus ``replicates``
+    independently seeded bandit episodes replay as *one* batched lane task
+    (:func:`repro.experiments.runner.lane_batch_task`): a single kernel
+    invocation instead of ``11 + replicates`` pool tasks. Returns, per
+    workload, the best static arm and the bandit's normalized-IPC spread
+    across seeds, plus an ``"all"`` entry with cross-workload gmeans.
+    """
+    if workloads is None:
+        workloads = tune_specs()
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
+                 hierarchy_config=hierarchy_config),
+            label=f"fig08rep:{spec.name}:none",
+        )
+        for spec in workloads
+    ])
+    tasks: List[Task] = []
+    for spec, base in zip(workloads, bases):
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        tasks.append(Task(
+            lane_batch_task,
+            dict(spec_name=spec.name, trace_length=trace_length,
+                 lanes=_replication_lanes(replicates, seed), params=params,
+                 seed=seed, hierarchy_config=hierarchy_config),
+            label=f"fig08rep:{spec.name}:lanes",
+        ))
+    payloads = run_parallel(tasks)
+    result: Dict[str, Dict[str, object]] = {}
+    best_norms: List[float] = []
+    bandit_means: List[float] = []
+    for spec, base, payload in zip(workloads, bases, payloads):
+        member = _replication_member(base, payload)
+        result[spec.name] = member
+        best_norms.append(member["best_static_norm"])
+        bandit_means.append(member["bandit_mean"])
+    result["all"] = {
+        "best_static_gmean": geometric_mean(best_norms),
+        "bandit_gmean": geometric_mean(bandit_means),
+    }
+    return result
+
+
+def fig10_replication_sweep(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    mtps_values: Sequence[float] = (150.0, 600.0, 2400.0, 9600.0),
+    replicates: int = 5,
+    workloads: Optional[Sequence[WorkloadSpec]] = None,
+    seed: int = 0,
+) -> Dict[float, Dict[str, object]]:
+    """Seed-replication study behind Figure 10's bandwidth sweep.
+
+    At each DRAM bandwidth point, every workload's 11 static arms and
+    ``replicates`` bandit seeds replay as one batched lane task. Returns
+    ``{mtps: {best_static_gmean, bandit_gmean, bandit_min, bandit_max}}``
+    (all IPC normalized to no-prefetching at the same bandwidth).
+    """
+    from dataclasses import replace as dc_replace
+
+    if workloads is None:
+        workloads = tune_specs()
+    points = [
+        (dc_replace(BASELINE_HIERARCHY_CONFIG, dram_mtps=mtps), spec)
+        for mtps in mtps_values
+        for spec in workloads
+    ]
+    bases = run_parallel([
+        Task(
+            fixed_prefetcher_task,
+            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
+                 hierarchy_config=config),
+            label=f"fig10rep:{config.dram_mtps:g}:{spec.name}:none",
+        )
+        for config, spec in points
+    ])
+    tasks: List[Task] = []
+    for (config, spec), base in zip(points, bases):
+        params = _scaled_params(base.stats.l2_demand_accesses)
+        tasks.append(Task(
+            lane_batch_task,
+            dict(spec_name=spec.name, trace_length=trace_length,
+                 lanes=_replication_lanes(replicates, seed), params=params,
+                 seed=seed, hierarchy_config=config),
+            label=f"fig10rep:{config.dram_mtps:g}:{spec.name}:lanes",
+        ))
+    payloads = run_parallel(tasks)
+    sweeps: Dict[float, Dict[str, List[float]]] = {
+        mtps: {"best": [], "means": [], "mins": [], "maxes": []}
+        for mtps in mtps_values
+    }
+    for (config, _), base, payload in zip(points, bases, payloads):
+        member = _replication_member(base, payload)
+        point = sweeps[config.dram_mtps]
+        point["best"].append(member["best_static_norm"])
+        point["means"].append(member["bandit_mean"])
+        point["mins"].append(member["bandit_min"])
+        point["maxes"].append(member["bandit_max"])
+    return {
+        mtps: {
+            "best_static_gmean": geometric_mean(point["best"]),
+            "bandit_gmean": geometric_mean(point["means"]),
+            "bandit_min": min(point["mins"]),
+            "bandit_max": max(point["maxes"]),
+        }
+        for mtps, point in sweeps.items()
     }
 
 

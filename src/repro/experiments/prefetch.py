@@ -301,6 +301,7 @@ def run_bandit_prefetch(
 
         # repro: mirror[bandit-step]
         def bandit_hook(hook_core: TraceCore) -> Tuple[int, float]:
+            # repro: mirror[lane-bandit-step] begin
             nonlocal pending_arm, applied_arm, next_boundary
             retire_time = hook_core.retire_time
             if pending_arm != applied_arm and retire_time >= bandit.selection_ready_cycle:
@@ -321,6 +322,7 @@ def run_bandit_prefetch(
                 if pending_arm != applied_arm
                 else infinity,
             )
+            # repro: mirror[lane-bandit-step] end
 
         core.run_compiled(trace, record_hook=bandit_hook, sanitize=False)
     else:

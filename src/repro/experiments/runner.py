@@ -42,6 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -51,6 +52,9 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core_model.lane_kernel import LaneSpec
 
 from repro.constants import PREFETCH_GAMMA
 from repro.core_model.trace_core import CoreConfig
@@ -85,7 +89,7 @@ from repro.workloads.suites import spec_by_name
 
 #: Bump to invalidate every cached result (simulator-visible semantics
 #: changed: result dataclass layout, replay fidelity fixes, ...).
-CACHE_SCHEMA_VERSION = 3
+CACHE_SCHEMA_VERSION = 4
 
 
 # ============================================================== cache keys
@@ -155,6 +159,27 @@ class Task:
         return task_key(self.fn, self.kwargs)
 
 
+class TaskExecutionError(RuntimeError):
+    """A pool worker crashed; carries the identity of the failing task.
+
+    The bare ``future.result()`` exception says nothing about *which* of a
+    figure's dozens of replays died; this wrapper names the task (label,
+    function, cache key) and chains the original exception as its cause.
+    """
+
+    def __init__(self, task: Task, key: Optional[str], error: BaseException):
+        label = task.label or f"{task.fn.__module__}.{task.fn.__qualname__}"
+        detail = f"task {label!r}"
+        if key:
+            detail += f" (key {key[:12]}…)"
+        super().__init__(
+            f"{detail} failed in pool worker: "
+            f"{type(error).__name__}: {error}"
+        )
+        self.task = task
+        self.task_key = key
+
+
 # ==================================================================== cache
 
 
@@ -179,7 +204,17 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 return True, pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,  # covers ModuleNotFoundError: renamed/removed modules
+            IndexError,
+        ):
+            # Stale pickles from a refactored module (moved classes, renamed
+            # modules, truncated protocol frames) regenerate instead of
+            # crashing the run.
             return False, None
 
     def put(self, key: str, value: Any) -> None:
@@ -295,8 +330,17 @@ class RunTelemetry:
             line += f", {throughput:,.0f} records/s"
         return line
 
-    def manifest(self, **extra: Any) -> Dict[str, Any]:
-        """The JSON run manifest emitted alongside the tables."""
+    def manifest(
+        self, *, deterministic: bool = False, **extra: Any
+    ) -> Dict[str, Any]:
+        """The JSON run manifest emitted alongside the tables.
+
+        ``deterministic=True`` zeroes every wall-clock-derived field
+        (per-task seconds, totals, phases, throughput) so two runs of the
+        same figure produce byte-identical manifests — the run-to-run
+        stable part is exactly the task list, its ordering, the cache keys,
+        and the replayed-record counts.
+        """
         body: Dict[str, Any] = {
             "manifest_version": 2,
             "cache_schema_version": CACHE_SCHEMA_VERSION,
@@ -304,20 +348,24 @@ class RunTelemetry:
                 "tasks": len(self.tasks),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
-                "task_seconds": round(self.task_seconds, 6),
-                "wall_seconds": round(self.wall_seconds, 6),
+                "task_seconds": 0.0 if deterministic
+                else round(self.task_seconds, 6),
+                "wall_seconds": 0.0 if deterministic
+                else round(self.wall_seconds, 6),
                 "replayed_records": self.replayed_records,
-                "records_per_second": round(self.records_per_second, 3),
+                "records_per_second": 0.0 if deterministic
+                else round(self.records_per_second, 3),
             },
             "phases": {
-                name: round(seconds, 6)
+                name: 0.0 if deterministic else round(seconds, 6)
                 for name, seconds in sorted(self.phases.items())
             },
             "tasks": [
                 {
                     "label": record.label,
                     "key": record.key,
-                    "seconds": round(record.seconds, 6),
+                    "seconds": 0.0 if deterministic
+                    else round(record.seconds, 6),
                     "cache_hit": record.cache_hit,
                     "records": record.records,
                 }
@@ -327,10 +375,13 @@ class RunTelemetry:
         body.update(extra)
         return body
 
-    def write_manifest(self, path: str | Path, **extra: Any) -> Path:
+    def write_manifest(
+        self, path: str | Path, *, deterministic: bool = False, **extra: Any
+    ) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.manifest(**extra), indent=2) + "\n")
+        body = self.manifest(deterministic=deterministic, **extra)
+        path.write_text(json.dumps(body, indent=2) + "\n")
         return path
 
 
@@ -421,7 +472,10 @@ def run_parallel(
         results[index] = value
         if key is not None:
             cache.put(key, value)
-        replayed = getattr(value, "records", 0)
+        if isinstance(value, dict):
+            replayed = value.get("records", 0)
+        else:
+            replayed = getattr(value, "records", 0)
         telemetry.record(
             task.label, key or "", seconds, cache_hit=False,
             records=replayed if isinstance(replayed, int) else 0,
@@ -441,13 +495,29 @@ def run_parallel(
                 (index, key, task)
             for index, key, task in pending
         }
+        # Buffer completions and finish() strictly in submission order, so
+        # the telemetry (and therefore the run manifest's ``tasks`` list) is
+        # deterministic regardless of worker completion order.
+        completed: Dict[int, Tuple[Any, float]] = {}
         outstanding = set(futures)
-        while outstanding:
-            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                index, key, task = futures[future]
-                value, seconds = future.result()
-                finish(index, key, task, value, seconds)
+        try:
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index, key, task = futures[future]
+                    try:
+                        completed[index] = future.result()
+                    except Exception as error:
+                        raise TaskExecutionError(task, key, error) from error
+        except BaseException:
+            for future in outstanding:
+                future.cancel()
+            raise
+    for index, key, task in pending:
+        value, seconds = completed[index]
+        finish(index, key, task, value, seconds)
     return results
 
 
@@ -564,6 +634,7 @@ def multicore_fixed_task(
             hierarchy.stats.l2_demand_accesses
             for hierarchy in system.hierarchies
         ],
+        "records": sum(len(trace) for trace in traces),
     }
 
 
@@ -586,7 +657,10 @@ def multicore_bandit_task(
     total_ipc, _ = run_multicore_bandit(
         traces, hierarchy_config, core_config, params, seed=seed
     )
-    return {"total_ipc": total_ipc}
+    return {
+        "total_ipc": total_ipc,
+        "records": sum(len(trace) for trace in traces),
+    }
 
 
 def smt_static_task(
@@ -631,6 +705,34 @@ def smt_bandit_task(
     return run_smt_bandit(mix, scale, config, algorithm=algorithm, seed=seed)
 
 
+def lane_batch_task(
+    *,
+    spec_name: str,
+    trace_length: int,
+    lanes: Sequence["LaneSpec"],
+    params: Optional[PrefetchBanditParams] = None,
+    seed: int = 0,
+    gap_scale: float = 1.0,
+    hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,
+    core_config: CoreConfig = CORE_CONFIG_TABLE4,
+) -> Dict[str, Any]:
+    """One batched multi-lane replay (arm fan-outs, replication sweeps).
+
+    Every lane replays the same trace, so one kernel invocation replaces
+    ``len(lanes)`` scalar pool tasks. The payload carries the per-lane
+    results in lane order plus the total replayed-record count for the
+    telemetry (each lane is a full replay of the trace).
+    """
+    from repro.core_model.lane_kernel import run_lane_batch
+
+    trace = compiled_trace_for(spec_name, trace_length, seed=seed,
+                               gap_scale=gap_scale)
+    results = run_lane_batch(
+        trace, lanes, hierarchy_config, core_config, params
+    )
+    return {"results": results, "records": len(trace) * len(lanes)}
+
+
 # ==================================================== best-static-arm fanout
 
 
@@ -672,8 +774,38 @@ def parallel_best_static_arm(
     """:func:`repro.experiments.prefetch.best_static_arm` as a task fanout.
 
     Returns the same ``(best arm, per-arm IPC)`` pair, computed through the
-    active execution context (parallel + cached when configured).
+    active execution context (parallel + cached when configured). With the
+    lane kernel enabled (the default) the 11-arm fan-out collapses into a
+    single batched task — one kernel invocation instead of 11 pool tasks —
+    with bit-identical per-arm results either way.
     """
+    from repro.core_model.lane_kernel import LaneSpec, lane_kernel_enabled
+
+    if lane_kernel_enabled():
+        if num_arms is None:
+            from repro.prefetch.ensemble import TABLE7_ARMS
+
+            num_arms = len(TABLE7_ARMS)
+        lanes = tuple(LaneSpec("arm", arm=arm) for arm in range(num_arms))
+        task = Task(
+            lane_batch_task,
+            dict(
+                spec_name=spec_name,
+                trace_length=trace_length,
+                lanes=lanes,
+                seed=seed,
+                hierarchy_config=hierarchy_config,
+            ),
+            label=f"{spec_name}:arms0-{num_arms - 1}",
+        )
+        payload = run_parallel([task])[0]
+        per_arm = {
+            arm: result.ipc
+            for arm, result in enumerate(payload["results"])
+        }
+        best = max(per_arm, key=per_arm.__getitem__)
+        return best, per_arm
+
     tasks = best_static_arm_tasks(
         spec_name, trace_length, seed, hierarchy_config, num_arms
     )

@@ -79,7 +79,9 @@ def profile_call(
     finally:
         profiler.disable()
     wall = time.perf_counter() - start
-    prof_path = output_stem.with_suffix(".prof")
+    # Append the suffix rather than with_suffix(): a dotted stem like
+    # ``fig08.bandit`` must not collapse onto its sibling ``fig08``.
+    prof_path = output_stem.parent / (output_stem.name + ".prof")
     profiler.dump_stats(str(prof_path))
     stats = pstats.Stats(profiler)
     summary = {
@@ -90,7 +92,7 @@ def profile_call(
         "top_cumulative": _stats_table(stats, "cumulative", top),
         "top_tottime": _stats_table(stats, "tottime", top),
     }
-    json_path = output_stem.with_suffix(".json")
+    json_path = output_stem.parent / (output_stem.name + ".json")
     json_path.write_text(json.dumps(summary, indent=2) + "\n")
     return result, json_path
 
@@ -118,9 +120,11 @@ def compare_benchmarks(
 ) -> Tuple[bool, List[str]]:
     """Compare benchmark means; returns ``(ok, report lines)``.
 
-    Only benchmarks present in *both* files gate the result (new benchmarks
-    have no baseline yet; removed ones no current number). A benchmark fails
-    when ``current > baseline * (1 + max_regression)``.
+    A shared benchmark fails when ``current > baseline * (1 + max_regression)``
+    (a 0s-vs-0s pair counts as unchanged). Benchmarks *new* in the current
+    run have no baseline yet and only report; benchmarks the baseline lists
+    but the current run lacks fail the gate — a silently skipped benchmark
+    is a gate bypass, not a pass.
     """
     baseline = load_benchmark_means(baseline_path)
     current = load_benchmark_means(current_path)
@@ -132,7 +136,12 @@ def compare_benchmarks(
     for name in shared:
         base = baseline[name]
         cur = current[name]
-        ratio = cur / base if base > 0 else float("inf")
+        if base > 0:
+            ratio = cur / base
+        elif cur == 0:
+            ratio = 1.0  # 0s vs 0s baseline: nothing regressed
+        else:
+            ratio = float("inf")
         limit = 1.0 + max_regression
         status = "ok" if ratio <= limit else "REGRESSION"
         if status != "ok":
@@ -144,7 +153,12 @@ def compare_benchmarks(
     for name in sorted(set(current) - set(baseline)):
         lines.append(f"{'new':>10}  {name}: {current[name]:.4f}s (no baseline)")
     for name in sorted(set(baseline) - set(current)):
-        lines.append(f"{'missing':>10}  {name}: not in current run")
+        # A benchmark the baseline gates on silently vanishing is a gate
+        # bypass, not a pass.
+        ok = False
+        lines.append(
+            f"{'MISSING':>10}  {name}: in baseline but not in current run"
+        )
     return ok, lines
 
 

@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -271,8 +272,9 @@ class TraceStore:
         if path is not None and path.is_file():
             try:
                 loaded = CompiledTrace.load(path)
-            except (OSError, ValueError, KeyError):
-                loaded = None  # corrupt entry: fall through and rebuild
+            except (OSError, ValueError, KeyError, EOFError, IndexError,
+                    ImportError, zipfile.BadZipFile):
+                loaded = None  # corrupt/stale entry: fall through and rebuild
             if loaded is not None:
                 self.hits += 1
                 self._remember(key, loaded)

@@ -8,9 +8,9 @@ from repro.cli import COMMANDS, build_parser, main
 class TestParser:
     def test_all_experiments_registered(self):
         expected = {
-            "fig02", "fig05", "fig07", "fig08", "fig09", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "table08", "table09",
-            "sec65", "traces",
+            "fig02", "fig05", "fig07", "fig08", "fig08rep", "fig09",
+            "fig10", "fig10rep", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "table08", "table09", "sec65", "traces",
         }
         assert set(COMMANDS) == expected
         assert all(callable(handler) for handler in COMMANDS.values())

@@ -143,6 +143,23 @@ class TestTraceStore:
         assert fresh.misses == 1
         assert len(rebuilt) == 256
 
+    @pytest.mark.parametrize("cut", [0, 10, 0.5], ids=["empty", "header",
+                                                       "half"])
+    def test_truncated_entry_is_rebuilt(self, tmp_path, cut):
+        """Empty, header-only, and mid-archive truncations (EOFError /
+        BadZipFile) are all cache misses, not crashes."""
+        spec = spec_by_name(SUITE_REPRESENTATIVES[0])
+        store = TraceStore(tmp_path)
+        store.get(spec, 256, seed=0)
+        [path] = list(tmp_path.rglob("*.npz"))
+        data = path.read_bytes()
+        cut = int(cut * len(data)) if isinstance(cut, float) else cut
+        path.write_bytes(data[:cut])
+        fresh = TraceStore(tmp_path)
+        rebuilt = fresh.get(spec, 256, seed=0)
+        assert fresh.misses == 1
+        assert len(rebuilt) == 256
+
 
 # ============================================================= equivalence
 

@@ -4,6 +4,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 from dataclasses import dataclass
 
@@ -17,6 +18,7 @@ from repro.experiments.runner import (
     ResultCache,
     RunTelemetry,
     Task,
+    TaskExecutionError,
     _canonical,
     bandit_prefetch_task,
     fixed_arm_task,
@@ -31,6 +33,21 @@ from repro.workloads.suites import spec_by_name
 
 def _double(*, value):
     return value * 2
+
+
+def _sleepy_double(*, value):
+    # Earlier submissions sleep longer, so pool completions arrive in
+    # reverse submission order.
+    time.sleep(0.02 * (6 - value))
+    return value * 2
+
+
+def _boom(*, value):
+    raise ValueError(f"kaboom {value}")
+
+
+def _dict_payload(*, n):
+    return {"results": list(range(n)), "records": n}
 
 
 @dataclass(frozen=True)
@@ -117,6 +134,20 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         assert cache.directory.name == f"v{CACHE_SCHEMA_VERSION}"
 
+    def test_stale_pickle_from_renamed_module_is_a_miss(self, tmp_path):
+        """A cached pickle referencing a module that no longer exists
+        (e.g. after a refactor) must regenerate, not crash the run."""
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, 1)
+        # Protocol-0 GLOBAL opcode against a module that does not exist:
+        # unpickling raises ModuleNotFoundError (an ImportError).
+        cache._path(key).write_bytes(
+            b"cdefinitely_not_a_module_xyz\nNope\n."
+        )
+        hit, value = cache.get(key)
+        assert not hit and value is None
+
 
 class TestRunParallel:
     def test_results_in_submission_order(self):
@@ -142,6 +173,36 @@ class TestRunParallel:
         run_parallel([task, task], jobs=1, cache=cache, telemetry=telemetry)
         assert telemetry.cache_misses == 2
         assert len(cache) == 0
+
+    def test_telemetry_follows_submission_order_under_pool(self):
+        """The manifest's task list must not depend on completion order."""
+        tasks = [
+            Task(_sleepy_double, {"value": v}, label=f"t{v}")
+            for v in range(6)
+        ]
+        telemetry = RunTelemetry()
+        results = run_parallel(tasks, jobs=4, cache=None, telemetry=telemetry)
+        assert results == [v * 2 for v in range(6)]
+        assert [r.label for r in telemetry.tasks] == [
+            f"t{v}" for v in range(6)
+        ]
+
+    def test_pool_failure_names_the_task(self):
+        tasks = [
+            Task(_double, {"value": 1}),
+            Task(_boom, {"value": 2}, label="detonator"),
+        ]
+        with pytest.raises(TaskExecutionError) as excinfo:
+            run_parallel(tasks, jobs=2, cache=None,
+                         telemetry=RunTelemetry())
+        assert "detonator" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_dict_payload_records_count_in_telemetry(self):
+        telemetry = RunTelemetry()
+        run_parallel([Task(_dict_payload, {"n": 500}, label="batch")],
+                     jobs=1, cache=None, telemetry=telemetry)
+        assert telemetry.replayed_records == 500
 
     def test_context_defaults(self, tmp_path):
         context = ExecutionContext(jobs=1, cache=ResultCache(tmp_path))
@@ -172,6 +233,27 @@ class TestTelemetryManifest:
         assert body["phases"] == {"replay": 0.5}
         assert [t["label"] for t in body["tasks"]] == ["a", "b"]
         assert [t["records"] for t in body["tasks"]] == [1000, 0]
+
+    def test_deterministic_manifests_are_byte_identical(self, tmp_path):
+        """Two pooled runs of the same figure must write the same bytes."""
+        paths = []
+        for run in (1, 2):
+            telemetry = RunTelemetry()
+            tasks = [
+                Task(_sleepy_double, {"value": v}, label=f"t{v}")
+                for v in range(6)
+            ]
+            run_parallel(tasks, jobs=4, cache=None, telemetry=telemetry)
+            telemetry.add_phase("replay", 0.25 * run)
+            paths.append(telemetry.write_manifest(
+                tmp_path / f"run{run}.manifest.json",
+                deterministic=True, command="fig08",
+            ))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        body = json.loads(paths[0].read_text())
+        assert body["totals"]["wall_seconds"] == 0.0
+        assert body["phases"]["replay"] == 0.0
+        assert all(t["seconds"] == 0.0 for t in body["tasks"])
 
     def test_phase_timer_accumulates(self):
         telemetry = RunTelemetry()

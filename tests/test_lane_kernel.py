@@ -1,0 +1,168 @@
+"""Tests for the batched lane replay kernel (``REPRO_LANE_KERNEL``)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core_model.lane_kernel import (
+    LANE_KERNEL_ENV,
+    LaneSpec,
+    lane_batch_eligible,
+    lane_kernel_enabled,
+    run_lane_batch,
+)
+from repro.core_model.sanitizer import SANITIZE_ENV, SanitizeDivergence
+from repro.core_model.trace_core import CoreConfig
+from repro.experiments.configs import (
+    ALT_HIERARCHY_CONFIG,
+    BASELINE_HIERARCHY_CONFIG,
+    CORE_CONFIG_TABLE4,
+    PREFETCH_BANDIT_CONFIG,
+)
+from repro.experiments.prefetch import (
+    run_bandit_prefetch,
+    run_fixed_arm,
+    run_fixed_prefetcher,
+)
+from repro.workloads.compiled import compiled_trace_for
+
+TRACE_LENGTH = 1_200
+#: A short bandit step so the 1.2k-record trace spans many decisions.
+PARAMS = dataclasses.replace(PREFETCH_BANDIT_CONFIG, step_l2_accesses=30)
+
+LANES = [
+    LaneSpec("none"),
+    LaneSpec("arm", arm=0),
+    LaneSpec("arm", arm=7),
+    LaneSpec("bandit", seed=0),
+    LaneSpec("bandit", seed=3),
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return compiled_trace_for("bwaves06", TRACE_LENGTH, seed=0)
+
+
+def _scalar_reference(trace, lane, hierarchy_config):
+    if lane.kind == "none":
+        return run_fixed_prefetcher(
+            trace, "none", hierarchy_config, CORE_CONFIG_TABLE4
+        )
+    if lane.kind == "arm":
+        return run_fixed_arm(
+            trace, lane.arm, hierarchy_config, CORE_CONFIG_TABLE4
+        )
+    return run_bandit_prefetch(
+        trace, hierarchy_config=hierarchy_config,
+        core_config=CORE_CONFIG_TABLE4, params=PARAMS, seed=lane.seed,
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "hierarchy_config", [BASELINE_HIERARCHY_CONFIG, ALT_HIERARCHY_CONFIG],
+        ids=["baseline", "alt"],
+    )
+    def test_matches_scalar_runners_lane_by_lane(self, trace, monkeypatch,
+                                                 hierarchy_config):
+        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        assert lane_batch_eligible(trace, LANES, PARAMS)
+        batch = run_lane_batch(
+            trace, LANES, hierarchy_config, CORE_CONFIG_TABLE4, PARAMS
+        )
+        for lane, got in zip(LANES, batch):
+            assert got == _scalar_reference(trace, lane, hierarchy_config)
+
+    def test_disabled_env_falls_back_to_identical_results(self, trace,
+                                                          monkeypatch):
+        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        kernel = run_lane_batch(
+            trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        monkeypatch.setenv(LANE_KERNEL_ENV, "0")
+        assert not lane_kernel_enabled()
+        scalar = run_lane_batch(
+            trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        assert kernel == scalar
+
+
+class TestEligibilityRouting:
+    def test_raw_record_traces_are_ineligible(self, trace):
+        records = trace.to_records()
+        assert not lane_batch_eligible(records, LANES, PARAMS)
+
+    def test_out_of_range_arm_is_ineligible(self, trace):
+        lanes = [LaneSpec("arm", arm=99)]
+        assert not lane_batch_eligible(trace, lanes, PARAMS)
+
+    def test_zero_step_budget_bandit_is_ineligible(self, trace):
+        params = dataclasses.replace(PARAMS, step_l2_accesses=0)
+        assert not lane_batch_eligible(
+            trace, [LaneSpec("bandit", seed=0)], params
+        )
+
+    def test_mixed_tracker_geometry_is_ineligible(self, trace):
+        params = dataclasses.replace(PARAMS, num_stride_trackers=2)
+        lanes = [LaneSpec("arm", arm=0), LaneSpec("bandit", seed=0)]
+        assert not lane_batch_eligible(trace, lanes, params)
+
+    def test_ineligible_batch_still_returns_scalar_results(self, trace,
+                                                           monkeypatch):
+        """An ineligible batch routes around the kernel, not into a crash."""
+        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        records = trace.to_records()
+        lanes = [LaneSpec("none"), LaneSpec("arm", arm=1)]
+        batch = run_lane_batch(
+            records, lanes, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        assert batch[0] == run_fixed_prefetcher(
+            records, "none", BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4
+        )
+        assert batch[1] == run_fixed_arm(
+            records, 1, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4
+        )
+
+    def test_empty_batch_is_empty(self, trace):
+        assert run_lane_batch(
+            trace, [], BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4, PARAMS
+        ) == []
+
+
+class TestSanitizedBatch:
+    def test_sanitized_batch_matches_plain(self, trace, monkeypatch):
+        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        plain = run_lane_batch(
+            trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sanitized = run_lane_batch(
+            trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        assert sanitized == plain
+
+    def test_sanitizer_catches_kernel_skew(self, trace, monkeypatch):
+        """A perturbed lane kernel must be caught lane-by-lane."""
+        import repro.core_model.lane_kernel as lk
+
+        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        real_kernel = lk._lane_kernel
+
+        def skewed(*args, **kwargs):
+            results, checkpoints, step_logs = real_kernel(*args, **kwargs)
+            bad = dataclasses.replace(results[-1], cycles=results[-1].cycles + 1.0)
+            return results[:-1] + [bad], checkpoints, step_logs
+
+        monkeypatch.setattr(lk, "_lane_kernel", skewed)
+        with pytest.raises(SanitizeDivergence):
+            run_lane_batch(
+                trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+                PARAMS,
+            )

@@ -53,6 +53,28 @@ class TestCompareBenchmarks:
         ok, _ = compare_benchmarks(base, cur)
         assert not ok
 
+    def test_zero_second_pair_is_not_a_regression(self, tmp_path):
+        """0s vs a 0s baseline is unchanged, not an infinite blow-up."""
+        base = _bench_json(tmp_path / "base.json", {"fig08": 0.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 0.0})
+        ok, _ = compare_benchmarks(base, cur)
+        assert ok
+
+    def test_nonzero_against_zero_baseline_fails(self, tmp_path):
+        base = _bench_json(tmp_path / "base.json", {"fig08": 0.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 0.1})
+        ok, _ = compare_benchmarks(base, cur)
+        assert not ok
+
+    def test_benchmark_missing_from_current_fails(self, tmp_path):
+        """A gated benchmark silently vanishing is a bypass, not a pass."""
+        base = _bench_json(tmp_path / "base.json",
+                           {"fig08": 10.0, "fig09": 5.0})
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 10.0})
+        ok, lines = compare_benchmarks(base, cur)
+        assert not ok
+        assert any("MISSING" in line and "fig09" in line for line in lines)
+
     def test_cli_exit_codes(self, tmp_path, capsys):
         base = _bench_json(tmp_path / "base.json", {"fig08": 10.0})
         good = _bench_json(tmp_path / "good.json", {"fig08": 10.5})
@@ -87,3 +109,14 @@ class TestProfileCall:
 
         with pytest.raises(RuntimeError):
             profile_call(boom, tmp_path / "boom")
+
+    def test_dotted_stem_does_not_collapse_onto_sibling(self, tmp_path):
+        """``fig08.bandit`` must emit fig08.bandit.{prof,json}, not
+        overwrite a sibling profile named ``fig08``."""
+        _, summary_path = profile_call(
+            lambda: 1, tmp_path / "fig08.bandit", label="bandit"
+        )
+        assert summary_path.name == "fig08.bandit.json"
+        assert (tmp_path / "fig08.bandit.prof").is_file()
+        assert not (tmp_path / "fig08.prof").exists()
+        assert not (tmp_path / "fig08.json").exists()
