@@ -40,16 +40,34 @@ built from all scanned files at once:
   path region pairs must change together; fingerprints are compared
   against the checked-in ``mirror-manifest.json`` (refresh with
   ``--update-mirrors`` after verifying with ``REPRO_SANITIZE=1``).
+- **R11 cache-key completeness** — every input a pool worker consumes
+  must reach its ``task_key`` fingerprint: no ``*args``/``**kwargs``
+  workers, no worker-reachable env-var reads (unless waived with
+  ``# repro: cache-invariant[NAME]`` for provably path-equivalent gates),
+  no ``None``-defaulted worker parameters substituted downstream with a
+  module constant the key never saw.
+- **R12 worker purity** — a fixpoint effect system
+  (:mod:`repro.analysis.effects`) classifies every function as pure /
+  reads-env / writes-global / does-IO / spawns-RNG; functions reachable
+  from a pool submission site must not write module-level state or
+  construct unseeded RNGs (deliberate per-process memos are acknowledged
+  with ``# repro: ignore[R12]``).
+- **R13 dtype contracts** — ``# repro: dtype[name: spec]`` annotations on
+  kernel arrays (e.g. ``float64`` accumulators, ``int bits<=3`` packed
+  cache-line state) are checked per module: implicit ``np.array`` dtypes,
+  cross-family stores, mixed-dtype promotion, and masks or shifts outside
+  the declared bit budget.
 
 Findings can be suppressed per line with ``# repro: ignore`` or
 ``# repro: ignore[R1,R4]``, or burned down incrementally through a checked
 in baseline file (``--baseline``; prune dead entries with ``--prune``).
 
-Run it as ``python -m repro.analysis src/``.
+Run it as ``python -m repro.analysis src/`` (add ``--jobs N`` to fan the
+per-module pass out over a process pool).
 """
 
 from repro.analysis.baseline import load_baseline, write_baseline
-from repro.analysis.core import Finding, ParsedModule, run_analysis
+from repro.analysis.core import Finding, ParsedModule, default_rules, run_analysis
 from repro.analysis.project_rules import PROJECT_RULES, ProjectRule
 from repro.analysis.rules import ALL_RULES, Rule
 from repro.analysis.symbols import Project, build_project
@@ -63,6 +81,7 @@ __all__ = [
     "ProjectRule",
     "Rule",
     "build_project",
+    "default_rules",
     "load_baseline",
     "run_analysis",
     "write_baseline",

@@ -23,12 +23,12 @@ from repro.analysis.baseline import (
     stale_entries,
     write_baseline,
 )
-from repro.analysis.core import Finding, run_analysis
-from repro.analysis.project_rules import PROJECT_RULES
-from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.core import Finding, default_rules, run_analysis
+from repro.analysis.rules import Rule
 
-#: Every rule the CLI knows: per-module R1–R7 plus project-wide R8–R10.
-ACTIVE_RULES: Tuple[Rule, ...] = (*ALL_RULES, *PROJECT_RULES)
+#: Every rule the CLI knows: per-module R1–R7 and R13 plus project-wide
+#: R8–R12.
+ACTIVE_RULES: Tuple[Rule, ...] = default_rules()
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ACTIVE_RULES}
 
@@ -36,7 +36,7 @@ RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ACTIVE_RULES}
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Fidelity & determinism static analysis (rules R1-R10).",
+        description="Fidelity & determinism static analysis (rules R1-R13).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -77,6 +77,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", type=Path, default=None, metavar="DIR",
         help="on-disk symbol-table cache (default: $REPRO_ANALYSIS_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse/lint modules in a process pool of N workers",
     )
     return parser
 
@@ -185,6 +189,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             root=args.root,
             mirrors=args.mirrors,
             cache_dir=args.cache_dir,
+            jobs=max(1, args.jobs),
         )
     except (FileNotFoundError, SyntaxError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -111,35 +111,66 @@ def check_module(module: ParsedModule, rules: Iterable["Rule"]) -> List[Finding]
     return findings
 
 
+def default_rules() -> tuple["Rule", ...]:
+    """Fresh instances of the full default rule set, R1–R13 in order."""
+    from repro.analysis.dtype_rules import DtypeContractRule
+    from repro.analysis.project_rules import PROJECT_RULES
+    from repro.analysis.rules import ALL_RULES
+
+    return (*ALL_RULES, DtypeContractRule(), *PROJECT_RULES)
+
+
+def _module_pass_worker(
+    path_str: str, display: str, codes: tuple[str, ...]
+) -> List[Finding]:
+    """Parse one file and run the named per-module rules over it.
+
+    Runs in a pool worker, so it takes only picklable inputs: rule
+    instances are reconstructed from their codes via
+    :func:`default_rules`. Pure by construction — no environment reads,
+    no module state — which is exactly what R12 demands of it.
+    """
+    from repro.analysis.project_rules import ProjectRule
+
+    rules = [
+        rule for rule in default_rules()
+        if rule.code in codes and not isinstance(rule, ProjectRule)
+    ]
+    module = parse_module(Path(path_str), display)
+    return check_module(module, rules)
+
+
 def run_analysis(
     paths: Sequence[Path],
     rules: Optional[Sequence["Rule"]] = None,
     root: Optional[Path] = None,
     mirrors: Optional[Path] = None,
     cache_dir: Optional[Path] = None,
+    jobs: int = 1,
 ) -> List[Finding]:
     """Lint every Python file under ``paths``; returns all findings.
 
-    Runs in two passes: the per-module rules (R1–R7) file by file, then —
-    if any project rule is selected — the inter-procedural pass (R8–R10)
-    over the whole file set at once, via the project symbol table.
+    Runs in two passes: the per-module rules (R1–R7, R13) file by file,
+    then — if any project rule is selected — the inter-procedural pass
+    (R8–R12) over the whole file set at once, via the project symbol
+    table.
 
     ``root`` controls how paths are displayed/keyed (relative to it when
     given), which keeps baseline keys machine-independent. ``mirrors`` is
     the R10 manifest; it defaults to ``root/mirror-manifest.json`` when
     that file exists. ``cache_dir`` enables the on-disk symbol-table cache
-    (see :func:`repro.analysis.symbols.build_project`).
+    (see :func:`repro.analysis.symbols.build_project`). ``jobs > 1``
+    fans the parse/lint of the per-module pass (and the symbol-table
+    parse) out over a process pool; results are order-stable either way.
     """
-    from repro.analysis.project_rules import PROJECT_RULES, ProjectRule
+    from repro.analysis.project_rules import ProjectRule
 
     if rules is None:
-        from repro.analysis.rules import ALL_RULES
-
-        rules = (*ALL_RULES, *PROJECT_RULES)
+        rules = default_rules()
     module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
 
-    findings: List[Finding] = []
+    displays: List[tuple[Path, str]] = []
     for file_path in iter_python_files(paths):
         display = file_path
         if root is not None:
@@ -147,13 +178,32 @@ def run_analysis(
                 display = file_path.resolve().relative_to(root.resolve())
             except ValueError:
                 display = file_path
-        module = parse_module(file_path, display.as_posix())
-        findings.extend(check_module(module, module_rules))
+        displays.append((file_path, display.as_posix()))
+
+    findings: List[Finding] = []
+    registry = {rule.code for rule in default_rules()}
+    codes = tuple(rule.code for rule in module_rules)
+    if jobs > 1 and all(code in registry for code in codes):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_module_pass_worker, str(file_path), display, codes)
+                for file_path, display in displays
+            ]
+            for future in futures:
+                findings.extend(future.result())
+    else:
+        for file_path, display in displays:
+            module = parse_module(file_path, display)
+            findings.extend(check_module(module, module_rules))
 
     if project_rules:
         from repro.analysis.symbols import build_project
 
-        project = build_project(paths, root=root, cache_dir=cache_dir)
+        project = build_project(
+            paths, root=root, cache_dir=cache_dir, jobs=jobs
+        )
         if mirrors is None and root is not None:
             default_manifest = root / "mirror-manifest.json"
             if default_manifest.is_file():

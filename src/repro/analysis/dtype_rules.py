@@ -1,0 +1,559 @@
+"""R13: numpy dtype/overflow contracts on kernel arrays.
+
+The batched kernels pack cache-line state into small integers (the lane
+kernel's L2 lines budget three bits: prefetched/used/dirty) and accumulate
+statistics in float64 columns. Nothing at runtime checks either invariant:
+``line | 8`` silently grows a fourth bit, ``np.array(xs)`` silently picks
+a dtype from its contents, and a float32 reduction quietly halves the
+precision every figure depends on.
+
+R13 makes the invariants declarable and statically checked. A comment
+
+    # repro: dtype[retire: float64]
+    # repro: dtype[l2_line: int bits<=3]
+
+binds a contract to the innermost enclosing function (nested defs
+included — closures share their parent's arrays) or to the module. Every
+assignment to, element-store into, or bitwise op on a contracted name is
+then checked for:
+
+- **implicit dtype** — ``np.array``/``asarray``/``ascontiguousarray``
+  without an explicit ``dtype=`` on a contracted name;
+- **mismatch/downcast** — constructing or storing a value whose inferred
+  dtype disagrees with the contract (``np.zeros`` defaults to float64;
+  ``.astype``/``dtype=`` are read exactly; true division is float64);
+- **mixed promotion** — a binary op between two contracted names of
+  different dtype families;
+- **bit budget** — ``bits<=N`` contracts reject set/test masks and stored
+  constants at or above ``2**N``, and any constant left-shift (which can
+  always exceed the budget on a nonzero value).
+
+The checker never executes code and only fires where it can *prove* a
+contract violation from the syntax tree; expressions it cannot type are
+skipped, not guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.core import Finding, ParsedModule
+from repro.analysis.rules import Rule
+
+#: The ``repro: dtype`` contract marker — one contract per bracket pair.
+_CONTRACT_RE = re.compile(
+    r"#\s*repro:\s*dtype\[([A-Za-z_][A-Za-z0-9_]*)\s*:\s*([^\]]+)\]"
+)
+
+#: Known dtype tokens -> (family, item bits or None for unsized).
+_DTYPES: Dict[str, Tuple[str, Optional[int]]] = {
+    "float64": ("float", 64),
+    "float32": ("float", 32),
+    "float16": ("float", 16),
+    "float": ("float", None),
+    "int64": ("int", 64),
+    "int32": ("int", 32),
+    "int16": ("int", 16),
+    "int8": ("int", 8),
+    "uint64": ("uint", 64),
+    "uint32": ("uint", 32),
+    "uint16": ("uint", 16),
+    "uint8": ("uint", 8),
+    "int": ("int", None),
+    "bool": ("bool", 8),
+}
+
+#: numpy constructors whose default dtype is float64.
+_FLOAT_CTORS = frozenset({"zeros", "ones", "empty", "full"})
+#: numpy constructors that infer their dtype from the data.
+_ARRAY_CTORS = frozenset({"array", "asarray", "ascontiguousarray", "asanyarray"})
+
+#: Sentinel for "array constructor with no explicit dtype".
+_IMPLICIT = "<implicit>"
+#: Sentinel for a plain Python int expression (fits any int family).
+_PYINT = "<pyint>"
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One declared dtype invariant, scoped by source-line span."""
+
+    name: str
+    dtype: str  #: token from :data:`_DTYPES`
+    bits: Optional[int]  #: packed-value bit budget, if declared
+    start: int  #: first line of the owning scope
+    end: int  #: last line of the owning scope
+    comment_line: int
+
+
+def _at(line: int) -> ast.AST:
+    """A placeholder node so comment-line findings can use ``finding()``."""
+    node = ast.Pass()
+    node.lineno = line
+    node.col_offset = 0
+    return node
+
+
+def _scope_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``NAME = <int>`` bindings, for mask folding."""
+    consts: Dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            value = node.value.value
+            if isinstance(value, int) and not isinstance(value, bool):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        consts[target.id] = value
+    return consts
+
+
+def _fold_int(expr: ast.expr, consts: Dict[str, int]) -> Optional[int]:
+    """Fold ``expr`` to an int where it is statically constant."""
+    if isinstance(expr, ast.Constant):
+        value = expr.value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        return None
+    if isinstance(expr, ast.Name):
+        return consts.get(expr.id)
+    if isinstance(expr, ast.UnaryOp):
+        inner = _fold_int(expr.operand, consts)
+        if inner is None:
+            return None
+        if isinstance(expr.op, ast.USub):
+            return -inner
+        if isinstance(expr.op, ast.Invert):
+            return ~inner
+        return None
+    if isinstance(expr, ast.BinOp):
+        left = _fold_int(expr.left, consts)
+        right = _fold_int(expr.right, consts)
+        if left is None or right is None:
+            return None
+        if isinstance(expr.op, ast.BitOr):
+            return left | right
+        if isinstance(expr.op, ast.BitAnd):
+            return left & right
+        if isinstance(expr.op, ast.BitXor):
+            return left ^ right
+        if isinstance(expr.op, ast.Add):
+            return left + right
+        if isinstance(expr.op, ast.Sub):
+            return left - right
+        if isinstance(expr.op, ast.Mult):
+            return left * right
+        if isinstance(expr.op, ast.LShift) and right >= 0:
+            return left << right
+        return None
+    return None
+
+
+class DtypeContractRule(Rule):
+    """R13: check ``# repro: dtype[...]`` contracts on kernel arrays."""
+
+    code = "R13"
+    name = "dtype-contract"
+    description = (
+        "arrays annotated with '# repro: dtype[name: spec]' must keep their "
+        "declared dtype; packed-int ops must stay inside the declared bit "
+        "budget"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        contracts, errors = self._parse_contracts(module)
+        yield from errors
+        if not contracts:
+            return
+        consts = _module_int_constants(module.tree)
+        for node in ast.walk(module.tree):
+            yield from self._check_node(module, node, contracts, consts)
+
+    # ------------------------------------------------------------ contracts
+
+    def _parse_contracts(
+        self, module: ParsedModule
+    ) -> Tuple[List[Contract], List[Finding]]:
+        spans = _scope_spans(module.tree)
+        contracts: List[Contract] = []
+        errors: List[Finding] = []
+        # Match real comment tokens only — the contract syntax quoted in a
+        # docstring (this module's own, say) must not bind anything.
+        comments: List[Tuple[int, str]] = []
+        try:
+            for token in tokenize.generate_tokens(
+                io.StringIO(module.source).readline
+            ):
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.string))
+        except tokenize.TokenError:  # pragma: no cover - ast parsed already
+            comments = list(enumerate(module.lines, start=1))
+        for lineno, text in comments:
+            for match in _CONTRACT_RE.finditer(text):
+                name, spec = match.group(1), match.group(2)
+                parsed = self._parse_spec(module, lineno, name, spec, errors)
+                if parsed is None:
+                    continue
+                dtype, bits = parsed
+                start, end = 1, len(module.lines)
+                for span in spans:
+                    if span[0] <= lineno <= span[1]:
+                        if span[0] > start:
+                            start, end = span
+                contracts.append(
+                    Contract(name, dtype, bits, start, end, lineno)
+                )
+        return contracts, errors
+
+    def _parse_spec(
+        self,
+        module: ParsedModule,
+        lineno: int,
+        name: str,
+        spec: str,
+        errors: List[Finding],
+    ) -> Optional[Tuple[str, Optional[int]]]:
+        tokens = spec.split()
+        if not tokens or tokens[0] not in _DTYPES:
+            errors.append(module.finding(
+                self.code, _at(lineno),
+                f"unknown dtype '{tokens[0] if tokens else spec}' in "
+                f"contract for '{name}'",
+            ))
+            return None
+        dtype = tokens[0]
+        family, item_bits = _DTYPES[dtype]
+        bits: Optional[int] = None
+        for token in tokens[1:]:
+            budget = re.fullmatch(r"bits<=(\d+)", token)
+            if budget is None:
+                errors.append(module.finding(
+                    self.code, _at(lineno),
+                    f"unrecognized contract clause '{token}' for '{name}'",
+                ))
+                return None
+            bits = int(budget.group(1))
+        if bits is not None:
+            if family not in ("int", "uint"):
+                errors.append(module.finding(
+                    self.code, _at(lineno),
+                    f"bit budget on non-integer dtype '{dtype}' for '{name}'",
+                ))
+                return None
+            if bits <= 0 or (item_bits is not None and bits > item_bits):
+                errors.append(module.finding(
+                    self.code, _at(lineno),
+                    f"bit budget bits<={bits} exceeds {dtype} width for "
+                    f"'{name}'",
+                ))
+                return None
+        return dtype, bits
+
+    # --------------------------------------------------------------- lookup
+
+    @staticmethod
+    def _contract_for(
+        contracts: List[Contract], name: str, line: int
+    ) -> Optional[Contract]:
+        best: Optional[Contract] = None
+        for contract in contracts:
+            if contract.name == name and contract.start <= line <= contract.end:
+                if best is None or contract.start >= best.start:
+                    best = contract
+        return best
+
+    @staticmethod
+    def _contracted_target(
+        contracts: List[Contract], expr: ast.expr
+    ) -> Optional[Tuple[Contract, bool]]:
+        """(contract, is_element) for a Name or Subscript-of-Name."""
+        if isinstance(expr, ast.Name):
+            contract = DtypeContractRule._contract_for(
+                contracts, expr.id, expr.lineno
+            )
+            return (contract, False) if contract is not None else None
+        if isinstance(expr, ast.Subscript) and isinstance(
+            expr.value, ast.Name
+        ):
+            contract = DtypeContractRule._contract_for(
+                contracts, expr.value.id, expr.lineno
+            )
+            return (contract, True) if contract is not None else None
+        return None
+
+    # ------------------------------------------------------------ inference
+
+    def _infer(
+        self, expr: ast.expr, contracts: List[Contract]
+    ) -> Optional[str]:
+        """dtype token, :data:`_PYINT`, :data:`_IMPLICIT`, or ``None``."""
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, int):
+                return _PYINT
+            if isinstance(value, float):
+                return "float64"
+            return None
+        if isinstance(expr, ast.Name):
+            contract = self._contract_for(contracts, expr.id, expr.lineno)
+            return contract.dtype if contract is not None else None
+        if isinstance(expr, ast.Subscript):
+            if isinstance(expr.value, ast.Name):
+                contract = self._contract_for(
+                    contracts, expr.value.id, expr.lineno
+                )
+                return contract.dtype if contract is not None else None
+            return None
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer(expr.operand, contracts)
+        if isinstance(expr, ast.IfExp):
+            body = self._infer(expr.body, contracts)
+            orelse = self._infer(expr.orelse, contracts)
+            return body if body == orelse else None
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                return "float64"
+            left = self._infer(expr.left, contracts)
+            right = self._infer(expr.right, contracts)
+            if left == right:
+                return left
+            if left == _PYINT:
+                return right
+            if right == _PYINT:
+                return left
+            return None
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, contracts)
+        return None
+
+    def _infer_call(
+        self, call: ast.Call, contracts: List[Contract]
+    ) -> Optional[str]:
+        dtype_kw = next(
+            (kw.value for kw in call.keywords if kw.arg == "dtype"), None
+        )
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr == "astype":
+                if call.args:
+                    return self._dtype_token(call.args[0])
+                return self._dtype_token(dtype_kw) if dtype_kw else None
+            if attr in _FLOAT_CTORS:
+                if dtype_kw is not None:
+                    return self._dtype_token(dtype_kw)
+                return "float64"
+            if attr in _ARRAY_CTORS:
+                if dtype_kw is not None:
+                    return self._dtype_token(dtype_kw)
+                return _IMPLICIT
+        elif isinstance(call.func, ast.Name):
+            if call.func.id in _FLOAT_CTORS:
+                return (
+                    self._dtype_token(dtype_kw)
+                    if dtype_kw is not None else "float64"
+                )
+            if call.func.id in _ARRAY_CTORS:
+                return (
+                    self._dtype_token(dtype_kw)
+                    if dtype_kw is not None else _IMPLICIT
+                )
+        return None
+
+    @staticmethod
+    def _dtype_token(expr: Optional[ast.expr]) -> Optional[str]:
+        """``np.float64`` / ``"float64"`` / ``float`` -> a dtype token."""
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Attribute) and expr.attr in _DTYPES:
+            return expr.attr
+        if isinstance(expr, ast.Name) and expr.id in _DTYPES:
+            return expr.id
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value if expr.value in _DTYPES else None
+        return None
+
+    # --------------------------------------------------------------- checks
+
+    @staticmethod
+    def _compatible(contract: Contract, inferred: str, element: bool) -> bool:
+        if inferred == _PYINT:
+            # Element stores widen a Python int into any numeric cell;
+            # rebinding the whole name to a scalar int is only fine when
+            # the contract is an integer family.
+            if element:
+                return True
+            return _DTYPES[contract.dtype][0] in ("int", "uint", "bool")
+        if inferred not in _DTYPES:
+            return True  # unknown inference: never guess
+        family, size = _DTYPES[inferred]
+        want_family, want_size = _DTYPES[contract.dtype]
+        if element:
+            # Element stores cast implicitly; only cross-family stores
+            # (float into int, int array into float accumulator is fine)
+            # lose information we can prove.
+            if want_family in ("int", "uint", "bool"):
+                return family in ("int", "uint", "bool")
+            return True
+        if family != want_family and not (
+            {family, want_family} <= {"int", "uint"}
+        ):
+            return False
+        if want_size is not None and (size != want_size or family != want_family):
+            return False
+        return True
+
+    def _check_node(
+        self,
+        module: ParsedModule,
+        node: ast.AST,
+        contracts: List[Contract],
+        consts: Dict[str, int],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from self._check_store(
+                    module, target, node.value, contracts, consts
+                )
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            yield from self._check_store(
+                module, node.target, node.value, contracts, consts
+            )
+        elif isinstance(node, ast.AugAssign):
+            yield from self._check_aug(module, node, contracts, consts)
+        elif isinstance(node, ast.BinOp):
+            yield from self._check_binop(module, node, contracts, consts)
+
+    def _check_store(
+        self,
+        module: ParsedModule,
+        target: ast.expr,
+        value: ast.expr,
+        contracts: List[Contract],
+        consts: Dict[str, int],
+    ) -> Iterator[Finding]:
+        bound = self._contracted_target(contracts, target)
+        if bound is None:
+            return
+        contract, element = bound
+        inferred = self._infer(value, contracts)
+        if inferred == _IMPLICIT:
+            yield module.finding(
+                self.code, value,
+                f"'{contract.name}' is contracted {contract.dtype} but this "
+                "array constructor has no explicit dtype= (numpy will infer "
+                "one from the data)",
+            )
+            return
+        if inferred is not None and not self._compatible(
+            contract, inferred, element
+        ):
+            kind = "element store" if element else "assignment"
+            yield module.finding(
+                self.code, value,
+                f"{kind} of {inferred} value into '{contract.name}' "
+                f"(contracted {contract.dtype})",
+            )
+        if contract.bits is not None:
+            folded = _fold_int(value, consts)
+            if folded is not None and not 0 <= folded < (1 << contract.bits):
+                yield module.finding(
+                    self.code, value,
+                    f"constant {folded} stored into '{contract.name}' "
+                    f"exceeds its {contract.bits}-bit budget",
+                )
+
+    def _check_aug(
+        self,
+        module: ParsedModule,
+        node: ast.AugAssign,
+        contracts: List[Contract],
+        consts: Dict[str, int],
+    ) -> Iterator[Finding]:
+        bound = self._contracted_target(contracts, node.target)
+        if bound is None:
+            return
+        contract, element = bound
+        inferred = self._infer(node.value, contracts)
+        if (
+            inferred in _DTYPES
+            and _DTYPES[inferred][0] == "float"
+            and _DTYPES[contract.dtype][0] in ("int", "uint")
+        ):
+            yield module.finding(
+                self.code, node,
+                f"float operand folded into '{contract.name}' "
+                f"(contracted {contract.dtype})",
+            )
+        if contract.bits is None:
+            return
+        if isinstance(node.op, ast.LShift):
+            folded = _fold_int(node.value, consts)
+            if folded is not None and folded > 0:
+                yield module.finding(
+                    self.code, node,
+                    f"left shift by {folded} can push '{contract.name}' past "
+                    f"its {contract.bits}-bit budget",
+                )
+            return
+        if isinstance(node.op, (ast.BitOr, ast.Add)):
+            folded = _fold_int(node.value, consts)
+            if folded is not None and folded >= (1 << contract.bits):
+                yield module.finding(
+                    self.code, node,
+                    f"constant {folded} exceeds the {contract.bits}-bit "
+                    f"budget of '{contract.name}'",
+                )
+
+    def _check_binop(
+        self,
+        module: ParsedModule,
+        node: ast.BinOp,
+        contracts: List[Contract],
+        consts: Dict[str, int],
+    ) -> Iterator[Finding]:
+        # Mixed-family promotion between two contracted arrays.
+        if isinstance(node.left, ast.Name) and isinstance(node.right, ast.Name):
+            left = self._contract_for(contracts, node.left.id, node.lineno)
+            right = self._contract_for(contracts, node.right.id, node.lineno)
+            if left is not None and right is not None:
+                lf, rf = _DTYPES[left.dtype][0], _DTYPES[right.dtype][0]
+                if lf != rf and not ({lf, rf} <= {"int", "uint"}):
+                    yield module.finding(
+                        self.code, node,
+                        f"mixed-dtype op between '{left.name}' ({left.dtype}) "
+                        f"and '{right.name}' ({right.dtype}) promotes "
+                        "implicitly",
+                    )
+        # Bit-budget masks: <contracted> | C, <contracted> & C (either order).
+        if not isinstance(node.op, (ast.BitOr, ast.BitAnd)):
+            return
+        for operand, other in (
+            (node.left, node.right), (node.right, node.left)
+        ):
+            bound = self._contracted_target(contracts, operand)
+            if bound is None or bound[0].bits is None:
+                continue
+            contract = bound[0]
+            folded = _fold_int(other, consts)
+            if folded is not None and folded >= (1 << contract.bits):
+                op = "|" if isinstance(node.op, ast.BitOr) else "&"
+                yield module.finding(
+                    self.code, node,
+                    f"mask {folded} in '{contract.name} {op} ...' addresses "
+                    f"bits outside the declared {contract.bits}-bit budget",
+                )
+                break

@@ -1,10 +1,11 @@
-"""Project-wide rules R8–R10, driven by the inter-procedural engine.
+"""Project-wide rules R8–R12, driven by the inter-procedural engine.
 
 Unlike R1–R7 (one module at a time), these rules see the whole project:
 the symbol table and call graph (:mod:`repro.analysis.symbols`,
 :mod:`repro.analysis.callgraph`), the seed dataflow classifier
-(:mod:`repro.analysis.dataflow`), and the mirror manifest
-(:mod:`repro.analysis.mirrors`).
+(:mod:`repro.analysis.dataflow`), the mirror manifest
+(:mod:`repro.analysis.mirrors`), and the effect/provenance layer
+(:mod:`repro.analysis.effects`).
 """
 
 from __future__ import annotations
@@ -370,9 +371,177 @@ class MirrorDriftRule(ProjectRule):
         return Finding(self.code, path, line, 0, message, text)
 
 
+# ------------------------------------------------------------------ R11
+
+
+class CacheKeyCompletenessRule(ProjectRule):
+    """R11: every input a pool worker consumes must reach its cache key.
+
+    ``task_key`` fingerprints a worker function's qualified name plus the
+    kwargs it was submitted with. Anything else that influences the
+    result — an environment variable read somewhere down the worker's
+    call tree, or a ``None``-defaulted parameter silently replaced by a
+    module constant after the key was computed — makes two different
+    computations share a fingerprint, and a cached figure goes stale
+    without a single test failing. Three checks:
+
+    - workers taking ``*args``/``**kwargs`` (the fingerprint cannot see
+      through forwarding);
+    - env-var reads reachable from a worker body, unless waived with
+      ``# repro: cache-invariant[NAME]`` on or above the reading line
+      (for gates whose paths are provably equivalent, e.g. the
+      sanitizer-verified kernel toggles);
+    - ``None``-defaulted worker parameters substituted downstream with a
+      module-level constant (``x or DEFAULT`` and friends) — the value
+      the task actually used never reached the key.
+    """
+
+    code = "R11"
+    name = "cache-key-completeness"
+    description = "worker inputs invisible to the task_key fingerprint"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.effects import (
+            ENV_READ,
+            direct_effects,
+            find_worker_roots,
+            none_default_substitutions,
+            reachable_functions,
+            roots_by_qname,
+            waived_invariants,
+        )
+
+        graph = build_callgraph(project)
+        roots = roots_by_qname(find_worker_roots(project, graph))
+        if not roots:
+            return
+        effects = direct_effects(project)
+        seen_env: Set[Tuple[str, int, int, str]] = set()
+        seen_subs: Set[Tuple[str, str]] = set()
+        for qname in sorted(roots):
+            info = project.functions[qname]
+            module = project.modules[info.module]
+            args = info.node.args  # type: ignore[union-attr]
+            for vararg, star in ((args.vararg, "*"), (args.kwarg, "**")):
+                if vararg is not None:
+                    yield _finding(
+                        module, self.code, info.node,
+                        f"worker `{qname}` takes {star}{vararg.arg}; the "
+                        "task fingerprint cannot see through argument "
+                        "forwarding — use explicit parameters",
+                    )
+            for sub in none_default_substitutions(project, graph, qname):
+                key = (qname, sub.parameter)
+                if key in seen_subs:
+                    continue
+                seen_subs.add(key)
+                yield _finding(
+                    module, self.code, info.node,
+                    f"parameter `{sub.parameter}` of worker `{qname}` "
+                    f"defaults to None and is replaced with "
+                    f"`{sub.constant}` inside `{sub.function}`; the "
+                    "substituted value never reaches the task fingerprint "
+                    "— make the real default explicit at the worker",
+                )
+            for fn in sorted(reachable_functions(project, graph, qname)):
+                for site in effects.get(fn, ()):
+                    if site.kind != ENV_READ:
+                        continue
+                    site_module = project.modules[site.module]
+                    waived = waived_invariants(
+                        site_module, site.node.lineno
+                    )
+                    if site.detail in waived or "*" in waived:
+                        continue
+                    key = (
+                        site.module, site.node.lineno,
+                        site.node.col_offset, site.detail,
+                    )
+                    if key in seen_env:
+                        continue
+                    seen_env.add(key)
+                    yield _finding(
+                        site_module, self.code, site.node,
+                        f"env var `{site.detail}` read by `{fn}` (reachable "
+                        f"from worker `{qname}`) is not part of the task "
+                        "fingerprint and can diverge between host and "
+                        "worker; key it or waive with "
+                        f"`# repro: cache-invariant[{site.detail}]`",
+                    )
+
+
+# ------------------------------------------------------------------ R12
+
+
+class WorkerPurityRule(ProjectRule):
+    """R12: pool workers must not mutate shared state or spawn ambient RNG.
+
+    A fixpoint effect system (:mod:`repro.analysis.effects`) classifies
+    every function as pure / reads-env / writes-global / does-IO /
+    spawns-RNG; any function reachable from a pool submission site that
+    *writes a module-level binding* is flagged — the write lands in the
+    worker process and silently vanishes (or, under a fork start method,
+    leaks between tasks). Unseeded RNG construction in a worker's call
+    tree is likewise flagged: every stream must trace to ``derive_seed``
+    (seeded constructions are already proven by R8, project-wide, so the
+    worker case is subsumed). A deliberate per-process memo can be
+    acknowledged with ``# repro: ignore[R12]`` on the writing line.
+    """
+
+    code = "R12"
+    name = "worker-purity"
+    description = "pool workers writing shared state or spawning ambient RNG"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.effects import (
+            GLOBAL_WRITE,
+            RNG_UNSEEDED,
+            direct_effects,
+            find_worker_roots,
+            reachable_functions,
+            roots_by_qname,
+        )
+
+        graph = build_callgraph(project)
+        roots = roots_by_qname(find_worker_roots(project, graph))
+        if not roots:
+            return
+        effects = direct_effects(project)
+        reported: Set[Tuple[str, int, str]] = set()
+        for qname in sorted(roots):
+            for fn in sorted(reachable_functions(project, graph, qname)):
+                for site in effects.get(fn, ()):
+                    if site.kind not in (GLOBAL_WRITE, RNG_UNSEEDED):
+                        continue
+                    key = (site.module, site.node.lineno, site.detail)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    site_module = project.modules[site.module]
+                    if site.kind == GLOBAL_WRITE:
+                        yield _finding(
+                            site_module, self.code, site.node,
+                            f"`{fn}` (reachable from worker `{qname}`) "
+                            f"writes module global `{site.detail}`; pool "
+                            "workers must not mutate shared state — return "
+                            "the value instead, or mark a deliberate "
+                            "per-process memo with `# repro: ignore[R12]`",
+                        )
+                    else:
+                        yield _finding(
+                            site_module, self.code, site.node,
+                            f"`{fn}` (reachable from worker `{qname}`) "
+                            f"constructs `{site.detail}` with no seed; "
+                            "worker RNG streams must derive from "
+                            "repro.util.rng.derive_seed",
+                        )
+
+
 #: Project-rule instances, in code order (appended to ALL_RULES).
 PROJECT_RULES: Tuple[ProjectRule, ...] = (
     SeedProvenanceRule(),
     ConstantProvenanceRule(),
     MirrorDriftRule(),
+    CacheKeyCompletenessRule(),
+    WorkerPurityRule(),
 )

@@ -20,6 +20,7 @@ import hashlib
 import os
 import pickle
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -279,12 +280,42 @@ def _collect_definitions(project: Project, name: str, tree: ast.Module) -> None:
     visit_constants(tree)
 
 
+def _parse_worker(path_str: str, display: str) -> ParsedModule:
+    """Parse one file for the symbol table (runs in a pool worker).
+
+    Pure: reads exactly the named file, touches no environment and no
+    module state — R12's own requirement, dogfooded on the analyzer.
+    """
+    return parse_module(Path(path_str), display)
+
+
 def _build(
-    files: Sequence[Tuple[Path, str, bool]], root: Optional[Path]
+    files: Sequence[Tuple[Path, str, bool]],
+    root: Optional[Path],
+    jobs: int = 1,
 ) -> Project:
     project = Project()
+    parsed: Dict[str, ParsedModule]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                name: pool.submit(
+                    _parse_worker,
+                    str(file_path),
+                    _display_path(file_path, root),
+                )
+                for file_path, name, _ in files
+            }
+            parsed = {name: f.result() for name, f in futures.items()}
+    else:
+        parsed = {
+            name: parse_module(file_path, _display_path(file_path, root))
+            for file_path, name, _ in files
+        }
     for file_path, name, is_package in files:
-        module = parse_module(file_path, _display_path(file_path, root))
+        module = parsed[name]
         project.modules[name] = module
         if is_package:
             project.packages.add(name)
@@ -309,9 +340,24 @@ def _build(
 # ----------------------------------------------------------------- caching
 
 
+@lru_cache(maxsize=1)
+def _engine_digest() -> str:
+    """Content hash of the analyzer package itself.
+
+    Folded into the cache key so upgrading the engine (new rules, symbol
+    table schema changes, bug fixes in resolution) invalidates cached
+    symbol tables instead of silently reusing ones built by older code.
+    """
+    digest = hashlib.sha256()
+    for source in sorted(Path(__file__).parent.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(hashlib.sha256(source.read_bytes()).digest())
+    return digest.hexdigest()
+
+
 def _cache_digest(files: Sequence[Tuple[Path, str, bool]]) -> str:
     digest = hashlib.sha256()
-    digest.update(f"symtab-v{_CACHE_VERSION}".encode())
+    digest.update(f"symtab-v{_CACHE_VERSION}-{_engine_digest()}".encode())
     for file_path, name, is_package in files:
         digest.update(f"|{name}|{int(is_package)}|".encode())
         digest.update(hashlib.sha256(file_path.read_bytes()).digest())
@@ -322,12 +368,14 @@ def build_project(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     cache_dir: Optional[Path] = None,
+    jobs: int = 1,
 ) -> Project:
     """Build (or load from cache) the symbol table for ``paths``.
 
     ``cache_dir`` defaults to ``$REPRO_ANALYSIS_CACHE_DIR`` when set; the
-    cache key hashes every source file, so it can never serve stale
-    symbols.
+    cache key hashes every source file *and the analyzer's own sources*,
+    so it can never serve symbols that are stale — whether the project or
+    the engine changed. ``jobs > 1`` parses files in a process pool.
     """
     files = _module_files(paths)
     if cache_dir is None:
@@ -344,7 +392,7 @@ def build_project(
                     return cached
             except Exception:
                 pass  # corrupt/incompatible entry: rebuild below
-    project = _build(files, root)
+    project = _build(files, root, jobs=jobs)
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         tmp = cache_path.with_suffix(".tmp")

@@ -96,6 +96,9 @@ class LaneSpec:
 
 def lane_kernel_enabled() -> bool:
     """Whether the batched kernel may be used (``REPRO_LANE_KERNEL``)."""
+    # Kernel and scalar paths are bit-identical (sanitizer-verified), so
+    # the gate cannot change any task result.
+    # repro: cache-invariant[REPRO_LANE_KERNEL]
     return os.environ.get(LANE_KERNEL_ENV, "1").strip().lower() not in (
         "0", "false", "no", "off",
     )
@@ -673,6 +676,14 @@ def _lane_kernel(
     # ---- per-lane core clocks as (N,) float64 columns; rlog[t + 1] is the
     # retire-time column after row t, and row 0 is a permanent zero row so
     # the no-anchor floor gathers 0.0 and every row takes the same maximum ----
+    # repro: dtype[retire: float64]
+    # repro: dtype[dispatch: float64]
+    # repro: dtype[llr: float64]
+    # repro: dtype[rlog: float64]
+    # Packed L2 line flags: bit0 prefetched, bit1 used, bit2 dirty.
+    # repro: dtype[line: int bits<=3]
+    # repro: dtype[victim: int bits<=3]
+    # repro: dtype[l2_line: int bits<=3]
     retire = np.zeros(num_lanes)
     dispatch = np.zeros(num_lanes)
     llr = np.zeros(num_lanes)  # last_load_ready
@@ -905,8 +916,8 @@ def _lane_kernel(
                     ready_i = ready_l[i]
                     new_retire[i] = (ready_i if ready_i > next_retire
                                      else next_retire)
-                retire = np.array(new_retire)
-                llr = np.array(ready_l)
+                retire = np.array(new_retire, dtype=np.float64)
+                llr = np.array(ready_l, dtype=np.float64)
             rlog[t + 1] = retire
 
             # End-of-record hook thresholds, bandit lanes only: the retire

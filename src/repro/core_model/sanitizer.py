@@ -38,6 +38,9 @@ _CHECKPOINTS = 64
 
 def sanitize_enabled() -> bool:
     """Is ``REPRO_SANITIZE`` set to a truthy value?"""
+    # The sanitizer only *checks* dual-path equivalence (and raises on
+    # divergence); it never changes what a task returns.
+    # repro: cache-invariant[REPRO_SANITIZE]
     value = os.environ.get(SANITIZE_ENV, "").strip().lower()
     return value not in ("", "0", "false", "no", "off")
 

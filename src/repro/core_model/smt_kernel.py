@@ -58,6 +58,9 @@ _ORDER_10: Tuple[int, int] = (1, 0)
 
 def kernel_enabled() -> bool:
     """Is the fused SMT kernel switched on (the default)?"""
+    # Kernel and object paths are bit-identical (sanitizer-verified), so
+    # the gate cannot change any task result.
+    # repro: cache-invariant[REPRO_SMT_KERNEL]
     value = os.environ.get(KERNEL_ENV, "").strip().lower()
     return value not in ("0", "false", "no", "off")
 
@@ -468,6 +471,7 @@ def run_smt_epochs_kernel(
 
         # ------------------------------------------------ epoch boundary
         # repro: mirror[smt-epoch-loop] begin
+        # repro: dtype[epoch_ipc: float64]
         epoch_ipc = (committed[0] + committed[1] - epoch_start_committed) / epoch_cycles
         hill_climbing.end_epoch(epoch_ipc)
         if epoch_hook is not None:

@@ -32,6 +32,7 @@ deterministic because trace generation is seeded.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import os
 import pickle
@@ -40,6 +41,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, is_dataclass
+from functools import lru_cache
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -61,6 +63,7 @@ from repro.core_model.trace_core import CoreConfig
 from repro.experiments.configs import (
     BASELINE_HIERARCHY_CONFIG,
     CORE_CONFIG_TABLE4,
+    PREFETCH_BANDIT_CONFIG,
     SMT_CONFIG_TABLE5,
     PrefetchBanditParams,
     smt_algorithm_lineup,
@@ -89,7 +92,9 @@ from repro.workloads.suites import spec_by_name
 
 #: Bump to invalidate every cached result (simulator-visible semantics
 #: changed: result dataclass layout, replay fidelity fixes, ...).
-CACHE_SCHEMA_VERSION = 4
+#: v5: defaulted parameters are folded into the fingerprint (see
+#: :func:`task_key`), so keys of tasks that omitted kwargs changed.
+CACHE_SCHEMA_VERSION = 5
 
 
 # ============================================================== cache keys
@@ -127,14 +132,39 @@ def _canonical(value: Any) -> Any:
     )
 
 
+@lru_cache(maxsize=None)
+def _fn_defaults(fn: Callable[..., Any]) -> Tuple[Tuple[str, Any], ...]:
+    """The defaulted ``(name, value)`` pairs of ``fn``'s signature.
+
+    Cached per function object: signatures are immutable for the lifetime
+    of the process and ``task_key`` is called once per task per run.
+    """
+    parameters = inspect.signature(fn).parameters
+    return tuple(
+        (name, parameter.default)
+        for name, parameter in parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    )
+
+
 def task_key(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> str:
-    """Stable content hash identifying one task execution."""
+    """Stable content hash identifying one task execution.
+
+    Defaulted parameters the caller omitted are folded into the
+    fingerprint at their default values: a task submitted without
+    ``core_config`` and one submitted with the (identical) default share
+    a key, and — the case that matters — editing a default changes every
+    key it participated in, instead of silently serving results computed
+    under the old default.
+    """
+    bound = {name: value for name, value in _fn_defaults(fn)}
+    bound.update(kwargs)
     payload = json.dumps(
         [
             "repro-task",
             CACHE_SCHEMA_VERSION,
             f"{fn.__module__}.{fn.__qualname__}",
-            _canonical(kwargs),
+            _canonical(bound),
         ],
         sort_keys=True,
         separators=(",", ":"),
@@ -710,7 +740,7 @@ def lane_batch_task(
     spec_name: str,
     trace_length: int,
     lanes: Sequence["LaneSpec"],
-    params: Optional[PrefetchBanditParams] = None,
+    params: PrefetchBanditParams = PREFETCH_BANDIT_CONFIG,
     seed: int = 0,
     gap_scale: float = 1.0,
     hierarchy_config: HierarchyConfig = BASELINE_HIERARCHY_CONFIG,

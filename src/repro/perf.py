@@ -22,6 +22,7 @@ import json
 import pstats
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -100,17 +101,55 @@ def profile_call(
 # ========================================================== benchmark compare
 
 
-def load_benchmark_means(path: str | Path) -> Dict[str, float]:
-    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+@dataclass(frozen=True)
+class BenchmarkStats:
+    """One benchmark's timing summary, as read from pytest-benchmark JSON."""
+
+    mean: float  #: mean seconds per round
+    stddev: Optional[float] = None  #: sample stddev, if recorded
+    rounds: Optional[int] = None  #: number of timed rounds, if recorded
+
+    @property
+    def single_round(self) -> bool:
+        """True when the stats carry no variance information at all.
+
+        A single-round benchmark (or one whose JSON predates the rounds
+        field) has a mean but no spread; regression verdicts against it
+        are noisier than the ratio suggests.
+        """
+        return self.rounds is None or self.rounds <= 1
+
+
+def load_benchmark_stats(path: str | Path) -> Dict[str, BenchmarkStats]:
+    """``{benchmark name: stats}`` from a pytest-benchmark JSON file.
+
+    Reads the mean plus — when present — the stddev and round count, so
+    the gate can qualify its verdicts with the variance of the baseline.
+    """
     with open(path) as handle:
         payload = json.load(handle)
-    means: Dict[str, float] = {}
+    loaded: Dict[str, BenchmarkStats] = {}
     for bench in payload.get("benchmarks", []):
         stats = bench.get("stats", {})
         mean = stats.get("mean")
-        if mean is not None:
-            means[bench["name"]] = float(mean)
-    return means
+        if mean is None:
+            continue
+        stddev = stats.get("stddev")
+        rounds = stats.get("rounds")
+        loaded[bench["name"]] = BenchmarkStats(
+            mean=float(mean),
+            stddev=None if stddev is None else float(stddev),
+            rounds=None if rounds is None else int(rounds),
+        )
+    return loaded
+
+
+def load_benchmark_means(path: str | Path) -> Dict[str, float]:
+    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON file."""
+    return {
+        name: stats.mean
+        for name, stats in load_benchmark_stats(path).items()
+    }
 
 
 def compare_benchmarks(
@@ -124,18 +163,20 @@ def compare_benchmarks(
     (a 0s-vs-0s pair counts as unchanged). Benchmarks *new* in the current
     run have no baseline yet and only report; benchmarks the baseline lists
     but the current run lacks fail the gate — a silently skipped benchmark
-    is a gate bypass, not a pass.
+    is a gate bypass, not a pass. A single-round baseline (no variance
+    information) *warns* rather than fails: its verdicts still gate, but
+    the report says how little the mean is backed by.
     """
-    baseline = load_benchmark_means(baseline_path)
-    current = load_benchmark_means(current_path)
+    baseline = load_benchmark_stats(baseline_path)
+    current = load_benchmark_stats(current_path)
     lines: List[str] = []
     ok = True
     shared = sorted(set(baseline) & set(current))
     if not shared:
         return False, ["no benchmarks shared between baseline and current run"]
     for name in shared:
-        base = baseline[name]
-        cur = current[name]
+        base = baseline[name].mean
+        cur = current[name].mean
         if base > 0:
             ratio = cur / base
         elif cur == 0:
@@ -146,12 +187,27 @@ def compare_benchmarks(
         status = "ok" if ratio <= limit else "REGRESSION"
         if status != "ok":
             ok = False
+        spread = ""
+        if baseline[name].stddev is not None and not baseline[name].single_round:
+            spread = f" ±{baseline[name].stddev:.4f}s"
         lines.append(
-            f"{status:>10}  {name}: {cur:.4f}s vs baseline {base:.4f}s "
-            f"({ratio:.2f}x, limit {limit:.2f}x)"
+            f"{status:>10}  {name}: {cur:.4f}s vs baseline {base:.4f}s"
+            f"{spread} ({ratio:.2f}x, limit {limit:.2f}x)"
         )
+        if baseline[name].single_round:
+            rounds = baseline[name].rounds
+            detail = (
+                f"rounds={rounds}" if rounds is not None else "no round count"
+            )
+            lines.append(
+                f"{'warning':>10}  {name}: baseline is single-round "
+                f"({detail}); mean carries no variance estimate — "
+                "re-record with more rounds for trustworthy gating"
+            )
     for name in sorted(set(current) - set(baseline)):
-        lines.append(f"{'new':>10}  {name}: {current[name]:.4f}s (no baseline)")
+        lines.append(
+            f"{'new':>10}  {name}: {current[name].mean:.4f}s (no baseline)"
+        )
     for name in sorted(set(baseline) - set(current)):
         # A benchmark the baseline gates on silently vanishing is a gate
         # bypass, not a pass.

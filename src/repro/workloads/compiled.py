@@ -67,6 +67,10 @@ class CompiledTrace:
         length = len(pc)
         if not (len(block) == len(flags) == len(inst_gap) == length):
             raise ValueError("compiled trace arrays must have equal length")
+        # repro: dtype[pc: int64]
+        # repro: dtype[block: int64]
+        # repro: dtype[flags: uint8 bits<=2]
+        # repro: dtype[inst_gap: int32]
         self.pc = np.ascontiguousarray(pc, dtype=np.int64)
         self.block = np.ascontiguousarray(block, dtype=np.int64)
         self.flags = np.ascontiguousarray(flags, dtype=np.uint8)
@@ -114,6 +118,7 @@ class CompiledTrace:
 
     def to_records(self) -> List[TraceRecord]:
         """Reconstruct the object trace (block-granular addresses)."""
+        # repro: dtype[flags: uint8 bits<=2]
         pcs, blocks, flags, gaps = self.as_lists()
         return [
             TraceRecord(
@@ -300,8 +305,12 @@ def get_trace_store() -> TraceStore:
     """The process-wide store used by the experiment task functions."""
     global _ACTIVE_STORE
     if _ACTIVE_STORE is None:
+        # The env var only relocates the content-keyed store directory;
+        # entries are keyed by trace content, so results cannot differ.
+        # repro: cache-invariant[REPRO_TRACE_CACHE_DIR]
         directory = os.environ.get(TRACE_CACHE_ENV) or None
-        _ACTIVE_STORE = TraceStore(directory)
+        # Deliberate per-process memo of the store handle.
+        _ACTIVE_STORE = TraceStore(directory)  # repro: ignore[R12]
     return _ACTIVE_STORE
 
 

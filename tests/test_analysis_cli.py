@@ -2,6 +2,7 @@
 summary table, and the baseline burn-down mechanism."""
 
 import json
+import textwrap
 
 import pytest
 
@@ -75,8 +76,87 @@ class TestExitCodes:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("R1", "R2", "R3", "R4", "R5", "R6", "R7",
-                     "R8", "R9", "R10"):
+                     "R8", "R9", "R10", "R11", "R12", "R13"):
             assert code in out
+
+
+class TestParallelJobs:
+    def test_jobs_matches_serial_run(self, tree, capsys):
+        assert run_cli(tree) == 1
+        serial = capsys.readouterr().out
+        assert run_cli(tree, "--jobs", "2") == 1
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_on_clean_tree(self, tree):
+        (tree / "src" / "dirty.py").write_text(CLEAN_SOURCE, encoding="utf-8")
+        assert run_cli(tree, "--jobs", "2") == 0
+
+    def test_nonpositive_jobs_is_serial(self, tree):
+        assert run_cli(tree, "--jobs", "0") == 1
+
+
+MIRRORED = {
+    "kernel.py": textwrap.dedent("""\
+        # repro: mirror[step]
+        def kernel_step(state):
+            return state.count * 2
+    """),
+    "objects.py": textwrap.dedent("""\
+        # repro: mirror[step]
+        def object_step(state):
+            return state.count * 2
+    """),
+}
+
+
+class TestUpdateMirrors:
+    @pytest.fixture
+    def mirror_tree(self, tmp_path):
+        package = tmp_path / "src"
+        package.mkdir()
+        for name, source in MIRRORED.items():
+            (package / name).write_text(source, encoding="utf-8")
+        return tmp_path
+
+    def test_record_then_drift_then_rerecord(self, mirror_tree, capsys):
+        tree = mirror_tree
+        # Tagged tree without a manifest fails R10.
+        assert run_cli(tree, "--select", "R10") == 1
+        capsys.readouterr()
+
+        # --update-mirrors records the fingerprints and reports the count.
+        assert run_cli(tree, "--update-mirrors") == 0
+        assert "recorded 1 mirror(s) / 2 side(s)" in capsys.readouterr().out
+        assert (tree / "mirror-manifest.json").exists()
+        assert run_cli(tree, "--select", "R10") == 0
+        capsys.readouterr()
+
+        # A one-sided edit drifts; re-recording after editing both sides
+        # brings the tree back to clean.
+        kernel = tree / "src" / "kernel.py"
+        kernel.write_text(
+            kernel.read_text().replace("* 2", "* 3"), encoding="utf-8"
+        )
+        assert run_cli(tree, "--select", "R10") == 1
+        capsys.readouterr()
+        twin = tree / "src" / "objects.py"
+        twin.write_text(
+            twin.read_text().replace("* 2", "* 3"), encoding="utf-8"
+        )
+        assert run_cli(tree, "--update-mirrors") == 0
+        capsys.readouterr()
+        assert run_cli(tree, "--select", "R10") == 0
+
+    def test_explicit_manifest_path(self, mirror_tree, capsys):
+        manifest = mirror_tree / "alt-manifest.json"
+        assert run_cli(
+            mirror_tree, "--update-mirrors", "--mirrors", str(manifest)
+        ) == 0
+        capsys.readouterr()
+        assert manifest.exists()
+        assert run_cli(
+            mirror_tree, "--select", "R10", "--mirrors", str(manifest)
+        ) == 0
 
 
 class TestBaseline:

@@ -1,0 +1,317 @@
+"""Tests for R13: ``# repro: dtype[...]`` contracts on kernel arrays.
+
+Positive and negative cases per check — implicit-dtype construction,
+assignment/element-store mismatch, mixed-family promotion, packed-int bit
+budgets (stores, augmented ops, masks, shifts), spec errors, scope
+binding, and suppression.
+"""
+
+from repro.analysis.dtype_rules import DtypeContractRule
+
+from tests.test_analysis_project import lint_project, make_tree
+
+
+def lint(tmp_path, source):
+    tree = make_tree(tmp_path, {"m.py": source})
+    return lint_project(tree, [DtypeContractRule()])
+
+
+class TestImplicitDtype:
+    def test_array_without_dtype_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(values):
+                # repro: dtype[retire: float64]
+                retire = np.array(values)
+                return retire
+        """)
+        assert len(findings) == 1
+        assert findings[0].rule == "R13"
+        assert "no explicit dtype=" in findings[0].message
+
+    def test_array_with_dtype_is_clean(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(values):
+                # repro: dtype[retire: float64]
+                retire = np.array(values, dtype=np.float64)
+                return retire
+        """)
+        assert findings == []
+
+    def test_uncontracted_name_is_ignored(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(values):
+                # repro: dtype[retire: float64]
+                other = np.array(values)
+                return other
+        """)
+        assert findings == []
+
+
+class TestAssignmentMismatch:
+    def test_wrong_sized_constructor_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(n):
+                # repro: dtype[retire: float64]
+                retire = np.zeros(n, dtype=np.float32)
+                return retire
+        """)
+        assert any(
+            "assignment of float32 value into 'retire'" in f.message
+            for f in findings
+        )
+
+    def test_astype_downcast_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(raw):
+                # repro: dtype[retire: float64]
+                retire = raw.astype(np.float32)
+                return retire
+        """)
+        assert any("float32" in f.message for f in findings)
+
+    def test_float_ctor_default_matches_float64(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(n):
+                # repro: dtype[retire: float64]
+                retire = np.zeros(n)
+                return retire
+        """)
+        assert findings == []
+
+    def test_float_ctor_default_violates_int_contract(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(n):
+                # repro: dtype[line: int32]
+                line = np.zeros(n)
+                return line
+        """)
+        assert any(
+            "assignment of float64 value into 'line'" in f.message
+            for f in findings
+        )
+
+
+class TestElementStores:
+    def test_float_into_int_contract_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line, a, b):
+                # repro: dtype[line: int bits<=3]
+                line[0] = a / b
+                return line
+        """)
+        assert any(
+            "element store of float64 value into 'line'" in f.message
+            for f in findings
+        )
+
+    def test_int_into_float_accumulator_is_clean(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(retire):
+                # repro: dtype[retire: float64]
+                retire[0] = 3
+                return retire
+        """)
+        assert findings == []
+
+
+class TestBitBudget:
+    def test_stored_constant_over_budget(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                line[0] = 8
+                return line
+        """)
+        assert any(
+            "constant 8" in f.message and "3-bit budget" in f.message
+            for f in findings
+        )
+
+    def test_stored_constant_within_budget(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                line[0] = 7
+                return line
+        """)
+        assert findings == []
+
+    def test_aug_or_over_budget(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                line[0] |= 8
+                return line
+        """)
+        assert any(
+            "constant 8 exceeds the 3-bit budget" in f.message
+            for f in findings
+        )
+
+    def test_aug_or_within_budget(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                line[0] |= 4
+                return line
+        """)
+        assert findings == []
+
+    def test_left_shift_always_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                line[0] <<= 1
+                return line
+        """)
+        assert any("left shift by 1" in f.message for f in findings)
+
+    def test_mask_over_budget_through_module_constant(self, tmp_path):
+        findings = lint(tmp_path, """
+            FLAG_EXTRA = 8
+
+
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                return line | FLAG_EXTRA
+        """)
+        assert any(
+            "mask 8" in f.message and "3-bit budget" in f.message
+            for f in findings
+        )
+
+    def test_mask_within_budget_is_clean(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                probed = line & 4
+                set_ = line | 2
+                return probed, set_
+        """)
+        assert findings == []
+
+    def test_folded_composite_mask(self, tmp_path):
+        findings = lint(tmp_path, """
+            BIT = 1
+
+
+            def kernel(line):
+                # repro: dtype[line: int bits<=3]
+                return line & (BIT << 3)
+        """)
+        assert any("mask 8" in f.message for f in findings)
+
+
+class TestMixedPromotion:
+    def test_cross_family_binop_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(retire, line):
+                # repro: dtype[retire: float64]
+                # repro: dtype[line: int32]
+                return retire + line
+        """)
+        assert any(
+            "mixed-dtype op between" in f.message for f in findings
+        )
+
+    def test_int_uint_pair_is_clean(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(flags, line):
+                # repro: dtype[flags: uint8 bits<=2]
+                # repro: dtype[line: int32]
+                return flags + line
+        """)
+        assert findings == []
+
+
+class TestSpecErrors:
+    def test_unknown_dtype(self, tmp_path):
+        findings = lint(tmp_path, """
+            # repro: dtype[x: complex128]
+            x = 1
+        """)
+        assert any("unknown dtype 'complex128'" in f.message for f in findings)
+
+    def test_unrecognized_clause(self, tmp_path):
+        findings = lint(tmp_path, """
+            # repro: dtype[x: int32 nonneg]
+            x = 1
+        """)
+        assert any(
+            "unrecognized contract clause 'nonneg'" in f.message
+            for f in findings
+        )
+
+    def test_bit_budget_on_float(self, tmp_path):
+        findings = lint(tmp_path, """
+            # repro: dtype[x: float64 bits<=3]
+            x = 1.0
+        """)
+        assert any(
+            "bit budget on non-integer dtype" in f.message for f in findings
+        )
+
+    def test_bit_budget_wider_than_dtype(self, tmp_path):
+        findings = lint(tmp_path, """
+            # repro: dtype[x: uint8 bits<=9]
+            x = 1
+        """)
+        assert any(
+            "bits<=9 exceeds uint8 width" in f.message for f in findings
+        )
+
+
+class TestScopingAndSuppression:
+    def test_docstring_mention_does_not_bind(self, tmp_path):
+        findings = lint(tmp_path, '''
+            def kernel(values):
+                """Annotate arrays with # repro: dtype[retire: float64]."""
+                retire = np.array(values)
+                return retire
+        ''')
+        assert findings == []
+
+    def test_contract_is_scoped_to_its_function(self, tmp_path):
+        findings = lint(tmp_path, """
+            def contracted(values):
+                # repro: dtype[retire: float64]
+                return np.array(values, dtype=np.float64)
+
+
+            def elsewhere(values):
+                retire = np.array(values)
+                return retire
+        """)
+        assert findings == []
+
+    def test_contract_covers_nested_defs(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(values):
+                # repro: dtype[retire: float64]
+                def fill():
+                    retire = np.array(values)
+                    return retire
+
+                return fill()
+        """)
+        assert any("no explicit dtype=" in f.message for f in findings)
+
+    def test_module_contract_covers_functions(self, tmp_path):
+        findings = lint(tmp_path, """
+            # repro: dtype[retire: float64]
+
+
+            def kernel(values):
+                retire = np.array(values)
+                return retire
+        """)
+        assert any("no explicit dtype=" in f.message for f in findings)
+
+    def test_ignore_marker_suppresses(self, tmp_path):
+        findings = lint(tmp_path, """
+            def kernel(values):
+                # repro: dtype[retire: float64]
+                retire = np.array(values)  # repro: ignore[R13]
+                return retire
+        """)
+        assert findings == []

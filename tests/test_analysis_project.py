@@ -109,6 +109,21 @@ class TestSymbolTable:
         build_project([tree / "src"], root=tree, cache_dir=cache)
         assert len(list(cache.glob("symtab-*.pkl"))) == 2
 
+    def test_cache_invalidates_when_analyzer_changes(
+        self, tmp_path, monkeypatch
+    ):
+        """The cache key folds in a digest of the analyzer's own sources,
+        so upgrading the engine can never serve a stale symbol table."""
+        import repro.analysis.symbols as symbols
+
+        tree = make_tree(tmp_path, self.FILES)
+        cache = tmp_path / "cache"
+        build_project([tree / "src"], root=tree, cache_dir=cache)
+        assert len(list(cache.glob("symtab-*.pkl"))) == 1
+        monkeypatch.setattr(symbols, "_engine_digest", lambda: "0" * 16)
+        build_project([tree / "src"], root=tree, cache_dir=cache)
+        assert len(list(cache.glob("symtab-*.pkl"))) == 2
+
 
 class TestCallGraph:
     def test_sites_and_reverse_edges(self, tmp_path):

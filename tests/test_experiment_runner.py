@@ -110,6 +110,35 @@ class TestCacheKey:
         assert len(keys) == 1
         assert len(keys.pop()) == 64
 
+    def test_folds_signature_defaults(self):
+        """Omitting a kwarg and passing its default explicitly must hash
+        identically — the key sees the value the worker will consume."""
+
+        def worker(*, value, depth=4):
+            return value * depth
+
+        assert task_key(worker, {"value": 1}) == task_key(
+            worker, {"value": 1, "depth": 4}
+        )
+        assert task_key(worker, {"value": 1}) != task_key(
+            worker, {"value": 1, "depth": 5}
+        )
+
+    def test_changing_a_default_changes_the_key(self):
+        def worker_v1(*, value, depth=4):
+            return value * depth
+
+        def worker_v2(*, value, depth=8):
+            return value * depth
+
+        # Same qualified-name trick: both close over the same module, so
+        # only the default differs once the names are aligned.
+        worker_v2.__qualname__ = worker_v1.__qualname__
+        worker_v2.__name__ = worker_v1.__name__
+        assert task_key(worker_v1, {"value": 1}) != task_key(
+            worker_v2, {"value": 1}
+        )
+
 
 class TestResultCache:
     def test_roundtrip_and_miss(self, tmp_path):

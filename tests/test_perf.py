@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.perf import compare_benchmarks, main, profile_call
+from repro.perf import (
+    compare_benchmarks,
+    load_benchmark_stats,
+    main,
+    profile_call,
+)
 
 
 def _bench_json(path, mean_by_name):
@@ -12,6 +17,18 @@ def _bench_json(path, mean_by_name):
         "benchmarks": [
             {"name": name, "stats": {"mean": mean}}
             for name, mean in mean_by_name.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _bench_json_full(path, stats_by_name):
+    """Like ``_bench_json`` but each value is a full stats dict."""
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": dict(stats)}
+            for name, stats in stats_by_name.items()
         ]
     }
     path.write_text(json.dumps(payload))
@@ -89,6 +106,59 @@ class TestCompareBenchmarks:
         cur = _bench_json(tmp_path / "cur.json", {"fig08": 14.0})
         assert main(["--baseline", str(base), "--current", str(cur),
                      "--max-regression", "0.5"]) == 0
+
+
+class TestBenchmarkStats:
+    def test_loads_stddev_and_rounds(self, tmp_path):
+        path = _bench_json_full(
+            tmp_path / "b.json",
+            {"fig08": {"mean": 10.0, "stddev": 0.5, "rounds": 5}},
+        )
+        stats = load_benchmark_stats(path)
+        assert stats["fig08"].mean == 10.0
+        assert stats["fig08"].stddev == 0.5
+        assert stats["fig08"].rounds == 5
+        assert not stats["fig08"].single_round
+
+    def test_missing_fields_mean_single_round(self, tmp_path):
+        path = _bench_json(tmp_path / "b.json", {"fig08": 10.0})
+        stats = load_benchmark_stats(path)
+        assert stats["fig08"].stddev is None
+        assert stats["fig08"].single_round
+
+    def test_single_round_baseline_warns_but_gates(self, tmp_path):
+        """A rounds=1 baseline still gates; the report just says so."""
+        base = _bench_json_full(
+            tmp_path / "base.json",
+            {"fig08": {"mean": 10.0, "stddev": 0, "rounds": 1}},
+        )
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 10.5})
+        ok, lines = compare_benchmarks(base, cur)
+        assert ok
+        assert any(
+            "warning" in line and "single-round" in line for line in lines
+        )
+
+    def test_multi_round_baseline_shows_spread_and_no_warning(self, tmp_path):
+        base = _bench_json_full(
+            tmp_path / "base.json",
+            {"fig08": {"mean": 10.0, "stddev": 0.25, "rounds": 8}},
+        )
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 10.5})
+        ok, lines = compare_benchmarks(base, cur)
+        assert ok
+        assert not any("single-round" in line for line in lines)
+        assert any("±0.2500s" in line for line in lines)
+
+    def test_single_round_regression_still_fails(self, tmp_path):
+        base = _bench_json_full(
+            tmp_path / "base.json",
+            {"fig08": {"mean": 10.0, "stddev": 0, "rounds": 1}},
+        )
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 20.0})
+        ok, lines = compare_benchmarks(base, cur)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
 
 
 class TestProfileCall:
