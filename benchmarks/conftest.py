@@ -8,7 +8,10 @@ EXPERIMENTS.md) and prints the regenerated rows/series. Set
     REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
 
 Each experiment runs exactly once per benchmark (``rounds=1``): the measured
-quantity is the full experiment, not a microbenchmark.
+quantity is the full experiment, not a microbenchmark. Set
+``REPRO_BENCH_ROUNDS`` (an int, default 1) to repeat the timed region —
+used when re-recording the committed ``BENCH_*.json`` baselines so their
+means carry a real stddev; CI smoke keeps the single-round default.
 
 Figure benchmarks share one result cache for the session, so replays that
 recur across figures (e.g. the no-prefetch baselines) execute once.
@@ -63,12 +66,22 @@ def experiment_context(tmp_path_factory):
             os.environ[TRACE_CACHE_ENV] = previous_env
 
 
+def bench_rounds() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "1")))
+
+
 @pytest.fixture
 def run_once(benchmark):
-    """Run the experiment exactly once under pytest-benchmark timing."""
+    """Run the experiment once per round under pytest-benchmark timing.
+
+    One round by default; ``REPRO_BENCH_ROUNDS`` repeats the timed region
+    (baseline re-recording), returning the last round's result.
+    """
+    rounds = bench_rounds()
 
     def runner(func, *args, **kwargs):
         return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1, warmup_rounds=0)
+                                  rounds=rounds, iterations=1,
+                                  warmup_rounds=0)
 
     return runner

@@ -1,21 +1,23 @@
-"""Figure 8 replication sweep on both replay paths: lane batch vs scalar.
+"""L1-thrashing replication sweep on both replay paths: lane batch vs scalar.
 
-The two benchmarks run the *same* reduced Figure 8 seed-replication sweep
-(same workloads, trace length, replicates, seeds) through the batched lane
-kernel (``REPRO_LANE_KERNEL=1``, auto mode — this narrow 35-lane sweep
-resolves to the dict kernel) and the PR 3 scalar kernel one lane at a time
-(``REPRO_LANE_KERNEL=0``). They quantify this PR's speedup (committed
-baseline: ``BENCH_PR6.json``; CI gates regressions via
-``python -m repro.perf``) and double-check bit-identical sweep output
-across the two paths.
+The streaming benchmark (``test_fig08_lane_batch.py``) measures the lane
+kernel where the shared front end dominates; *this* file measures the
+opposite regime. The swept workloads are the three L1-thrashing tune-set
+members (milc06, cactus06, omnetpp06) whose records overwhelmingly miss
+L1, so nearly every record takes the per-lane memory-side path — the
+~1.35x case under the old dict-based per-lane hierarchy. The
+array-resident hierarchy (packed ``(lanes, sets, ways)`` tag/flag arrays,
+vectorized victim selection and fill engine) turns that path into a
+handful of masked array ops per record, which is the speedup the
+committed ``BENCH_PR8.json`` baseline records.
 
-The swept workloads are the three streaming tune-set members
-(bwaves06/libquantum06/lbm06, ~12.5% L1 miss rate at this scale) whose
-replay cost is dominated by the lane-invariant front end the batch kernel
-vectorizes. The L1-thrashing tune-set members (milc06, cactus06,
-omnetpp06), where every record takes the per-lane memory-side path, have
-their own wide-sweep benchmark in ``test_fig08_lane_thrash.py`` gated by
-``BENCH_PR8.json``.
+The replicate count is deliberately large (400 bandit seeds, 411 lanes):
+the scalar path is linear in lane count while the array path amortizes
+its per-record dispatch across lanes, and wide sweeps are exactly the
+shape the auto kernel mode routes to the array path. The trace length
+matters too — eviction steady state (full sets, every fill selecting a
+victim) only arrives a few thousand records in, so short traces would
+understate the miss-path cost both kernels pay.
 
 Each test installs its own *uncached* execution context: replay task keys
 do not encode ``REPRO_LANE_KERNEL``, so the session cache shared by the
@@ -35,8 +37,8 @@ from repro.workloads.compiled import compiled_trace_for
 from repro.workloads.suites import spec_by_name
 
 TRACE_LENGTH = scaled(20000)
-REPLICATES = 24
-WORKLOADS = ("bwaves06", "libquantum06", "lbm06")
+REPLICATES = 400
+WORKLOADS = ("milc06", "cactus06", "omnetpp06")
 
 #: Cross-test stash so the scalar-path run can check bit-identity against
 #: the lane-path run without paying for a third sweep.
@@ -66,7 +68,7 @@ def _warm_traces():
         compiled_trace_for(name, TRACE_LENGTH, seed=0)
 
 
-def test_fig08_lane_batch_kernel(run_once):
+def test_fig08_lane_thrash_kernel(run_once):
     _warm_traces()
     result = run_once(_run_uncached, lane=True)
     _RESULTS["lane"] = result
@@ -74,7 +76,7 @@ def test_fig08_lane_batch_kernel(run_once):
     assert result["all"]["bandit_gmean"] > 0.9
 
 
-def test_fig08_lane_batch_scalar(run_once):
+def test_fig08_lane_thrash_scalar(run_once):
     _warm_traces()
     result = run_once(_run_uncached, lane=False)
     print(f"\nscalar path bandit gmean: {result['all']['bandit_gmean']:.3f}")

@@ -35,10 +35,22 @@ from repro.experiments.runner import ExecutionContext, ResultCache, use_context
 from repro.experiments.smt import SMTScale
 from repro.smt.bandit_control import SMTBanditConfig
 from repro.workloads.compiled import TRACE_CACHE_ENV, set_trace_store
-from repro.workloads.suites import tune_specs
+from repro.workloads.suites import spec_by_name, tune_specs
 
 #: Default result-cache location (content-keyed; safe to delete any time).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _tune_selection(args: argparse.Namespace):
+    """The workload specs a prefetch subcommand sweeps.
+
+    ``--workload-names milc06,cactus06`` selects exact members (any order);
+    otherwise the first ``--workloads`` of the tune set, as before.
+    """
+    names = getattr(args, "workload_names", None)
+    if names:
+        return [spec_by_name(name.strip()) for name in names.split(",")]
+    return tune_specs()[: args.workloads]
 
 
 def _smt_scale(args: argparse.Namespace) -> SMTScale:
@@ -69,7 +81,7 @@ def _cmd_fig05(args):
 def _cmd_table08(args):
     result = figures.table08_prefetch_tuneset(
         trace_length=args.trace_length,
-        workloads=tune_specs()[: args.workloads],
+        workloads=_tune_selection(args),
     )
     print(format_summary_table(result, title="Table 8"))
 
@@ -100,7 +112,7 @@ def _print_suite_table(result, title):
 def _cmd_fig09(args):
     result = figures.fig09_breakdown(
         trace_length=args.trace_length,
-        workloads=tune_specs()[: args.workloads],
+        workloads=_tune_selection(args),
     )
     rows = [(name, f"{m['llc_misses']:.3f}", f"{m['timely']:.3f}",
              f"{m['late']:.3f}", f"{m['wrong']:.3f}")
@@ -112,7 +124,7 @@ def _cmd_fig09(args):
 def _cmd_fig10(args):
     result = figures.fig10_bandwidth_sweep(
         trace_length=args.trace_length,
-        workloads=tune_specs()[: args.workloads],
+        workloads=_tune_selection(args),
     )
     rows = [(f"{int(m)} MTPS", f"{v['pythia']:.3f}", f"{v['bandit']:.3f}")
             for m, v in sorted(result.items())]
@@ -124,7 +136,7 @@ def _cmd_fig08rep(args):
     result = figures.fig08_replication_sweep(
         trace_length=args.trace_length,
         replicates=args.replicates,
-        workloads=tune_specs()[: args.workloads],
+        workloads=_tune_selection(args),
     )
     rows = []
     for name, member in result.items():
@@ -152,7 +164,7 @@ def _cmd_fig10rep(args):
     result = figures.fig10_replication_sweep(
         trace_length=args.trace_length,
         replicates=args.replicates,
-        workloads=tune_specs()[: args.workloads],
+        workloads=_tune_selection(args),
     )
     rows = [(f"{int(m)} MTPS", f"{v['best_static_gmean']:.3f}",
              f"{v['bandit_gmean']:.3f}", f"{v['bandit_min']:.3f}",
@@ -168,7 +180,7 @@ def _cmd_fig10rep(args):
 def _cmd_fig12(args):
     result = figures.fig12_multilevel(
         trace_length=args.trace_length,
-        workloads=tune_specs()[: args.workloads],
+        workloads=_tune_selection(args),
     )
     rows = [(name, f"{value:.3f}") for name, value in result.items()]
     print(format_table(["configuration", "gmean"], rows, title="Figure 12"))
@@ -275,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memory accesses per trace (prefetch cases)")
         cmd.add_argument("--workloads", type=int, default=8,
                          help="number of workloads/mixes where applicable")
+        cmd.add_argument("--workload-names", default=None,
+                         help="comma-separated tune-set workload names "
+                              "(overrides the --workloads prefix)")
         cmd.add_argument("--mixes", type=int, default=6,
                          help="number of SMT mixes where applicable")
         cmd.add_argument("--epochs", type=int, default=300,

@@ -22,11 +22,23 @@ re-deriving per-record state that is in fact *lane-invariant*:
   function of its current arm degrees.
 
 What *does* diverge per lane — L2/LLC contents, MSHR state, DRAM channel
-timing, retire/dispatch clocks — is held as numpy ``(N,)`` columns for the
-core clocks (every L1-hit record updates all lanes in a few vector ops) and
-as plain per-lane dicts for the memory side, updated by an exact per-lane
-transcription of :func:`~repro.core_model.replay_kernel.run_replay_kernel`
-on L1-miss records (all lanes miss together, because hit/miss is shared).
+timing, retire/dispatch clocks — is held lane-resident: numpy ``(N,)``
+columns for the core clocks (every L1-hit record updates all lanes in a few
+vector ops) and, in the default **array kernel**, packed-int
+``(N, sets, ways)`` tag+flags arrays for the L2/LLC plus a per-lane sorted
+fill queue held as ``(N, mshr)`` structured columns — so an L1-miss record
+updates all N lanes in a handful of masked array ops on both the demand
+path and the prefetch-fill path.  Each cache line is packed as
+``block * 8 + flags`` (bit0 prefetched, bit1 used, bit2 dirty; ``-1`` =
+empty way) and way order *is* recency order (way 0 oldest), so the
+insertion-order victim choice of the scalar kernel's dicts becomes
+"evict way 0, append at way ``count - 1``".
+
+The previous per-lane dict transcription (PR 6) is retained for one release
+behind ``REPRO_LANE_KERNEL=dict`` as an oracle for the array path; both are
+exact per-lane transcriptions of
+:func:`~repro.core_model.replay_kernel.run_replay_kernel` on L1-miss
+records (all lanes miss together, because hit/miss is shared).
 
 The arithmetic is bit-identical to the scalar kernel: vector adds/maxima on
 float64 columns perform the same IEEE-754 operations in the same order as
@@ -35,7 +47,10 @@ match ``TraceCore.run_compiled`` exactly (asserted lane-by-lane under
 ``REPRO_SANITIZE=1``, and in ``tests/test_lane_kernel.py``).
 
 ``REPRO_LANE_KERNEL=0`` (or any ineligible lane/config) falls back to the
-scalar runners, one process-visible result list either way.
+scalar runners, one process-visible result list either way; ineligibility
+is reported as a human-readable fallback reason that the experiment
+runner surfaces in telemetry manifests (see
+:func:`lane_batch_fallback_reason`).
 """
 
 from __future__ import annotations
@@ -43,7 +58,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -94,14 +117,88 @@ class LaneSpec:
             raise ValueError("arm lanes require an arm index")
 
 
-def lane_kernel_enabled() -> bool:
-    """Whether the batched kernel may be used (``REPRO_LANE_KERNEL``)."""
-    # Kernel and scalar paths are bit-identical (sanitizer-verified), so
-    # the gate cannot change any task result.
+#: Lane count at or above which ``auto`` mode routes a batch to the
+#: array kernel. Below it the dict kernel's small per-lane state beats
+#: the array path's per-record dispatch floor; above it the dict path's
+#: working set blows out the host caches and scales superlinearly while
+#: the array path stays linear in lanes (both are bit-identical, so the
+#: cutover is purely a performance choice).
+AUTO_ARRAY_MIN_LANES = 128
+
+
+def lane_kernel_mode() -> str:
+    """The lane-kernel path selected by ``REPRO_LANE_KERNEL``.
+
+    ``"auto"`` (the default) picks per batch: the array-resident kernel
+    for wide batches (>= ``AUTO_ARRAY_MIN_LANES`` lanes) and the dict
+    kernel for narrow ones. ``"array"`` / ``"dict"`` force one batched
+    path; ``"scalar"`` (also ``0``/``false``/``no``/``off``) forces the
+    scalar runner fallback.
+    """
+    # All paths are bit-identical (sanitizer-verified), so the mode
+    # cannot change any task result.
     # repro: cache-invariant[REPRO_LANE_KERNEL]
-    return os.environ.get(LANE_KERNEL_ENV, "1").strip().lower() not in (
-        "0", "false", "no", "off",
-    )
+    value = os.environ.get(LANE_KERNEL_ENV, "auto").strip().lower()
+    if value in ("0", "false", "no", "off", "scalar"):
+        return "scalar"
+    if value in ("dict", "array"):
+        return value
+    return "auto"
+
+
+def lane_kernel_enabled() -> bool:
+    """Whether a batched kernel may be used (``REPRO_LANE_KERNEL``)."""
+    return lane_kernel_mode() != "scalar"
+
+
+def resolve_lane_kernel_mode(num_lanes: int) -> str:
+    """The kernel path a batch of ``num_lanes`` lanes will actually take.
+
+    Resolves ``auto`` to ``"array"`` or ``"dict"`` by batch width; the
+    experiment runner records this in telemetry manifests.
+    """
+    mode = lane_kernel_mode()
+    if mode == "auto":
+        return "array" if num_lanes >= AUTO_ARRAY_MIN_LANES else "dict"
+    return mode
+
+
+def lane_batch_fallback_reason(
+    trace: object,
+    lanes: Sequence[LaneSpec],
+    params: "PrefetchBanditParams",
+) -> Optional[str]:
+    """Why this batch cannot run through the batched kernel, or ``None``.
+
+    Requires a non-empty compiled trace, known lane kinds, and in-range
+    arm ids.  Mixed stride/stream tracker geometries are fine: the shared
+    training pre-pass simulates one table pair per distinct geometry and
+    every lane reads its own group's outcomes.  The returned string is a
+    stable, human-readable diagnosis that the experiment runner records
+    in telemetry manifests when a sweep silently falls back to the
+    scalar runners; it depends only on the task inputs (never on the
+    ``REPRO_LANE_KERNEL`` mode), so it is safe inside cached payloads.
+    """
+    if not isinstance(trace, CompiledTrace):
+        return "trace is not a CompiledTrace"
+    if len(trace) == 0:
+        return "empty trace"
+    if not lanes:
+        return "empty lane list"
+    for lane in lanes:
+        if lane.kind == "arm":
+            if lane.arm is None or not 0 <= lane.arm < len(TABLE7_ARMS):
+                return f"arm index {lane.arm!r} out of range"
+        elif lane.kind == "bandit":
+            # The kernel installs the post-first-hook threshold state
+            # directly, which is only equivalent to the scalar kernel's
+            # initial -inf thresholds when the first record cannot end a
+            # bandit step on its own.
+            if params.step_l2_accesses < 1:
+                return "bandit lanes require step_l2_accesses >= 1"
+        elif lane.kind != "none":
+            return f"unknown lane kind {lane.kind!r}"
+    return None
 
 
 def lane_batch_eligible(
@@ -109,36 +206,8 @@ def lane_batch_eligible(
     lanes: Sequence[LaneSpec],
     params: "PrefetchBanditParams",
 ) -> bool:
-    """Whether every lane can run through the batched kernel.
-
-    Requires a compiled trace, known lane kinds, in-range arm ids, and a
-    single stride/stream tracker geometry across all prefetching lanes
-    (arm lanes use the module defaults, bandit lanes use ``params``) —
-    the shared training pre-pass simulates exactly one table pair.
-    """
-    if not isinstance(trace, CompiledTrace) or len(trace) == 0:
-        return False
-    if not lanes:
-        return False
-    tracker_pairs = set()
-    for lane in lanes:
-        if lane.kind == "arm":
-            if lane.arm is None or not 0 <= lane.arm < len(TABLE7_ARMS):
-                return False
-            tracker_pairs.add((NUM_STRIDE_TRACKERS, NUM_STREAM_TRACKERS))
-        elif lane.kind == "bandit":
-            # The kernel installs the post-first-hook threshold state
-            # directly, which is only equivalent to the scalar kernel's
-            # initial -inf thresholds when the first record cannot end a
-            # bandit step on its own.
-            if params.step_l2_accesses < 1:
-                return False
-            tracker_pairs.add(
-                (params.num_stride_trackers, params.num_stream_trackers)
-            )
-        elif lane.kind != "none":
-            return False
-    return len(tracker_pairs) <= 1
+    """Whether every lane can run through a batched kernel."""
+    return lane_batch_fallback_reason(trace, lanes, params) is None
 
 
 def run_lane_batch(
@@ -150,12 +219,14 @@ def run_lane_batch(
 ) -> List["PrefetchRunResult"]:
     """Replay ``trace`` through every lane; one result per lane, in order.
 
-    Dispatches to the batched kernel when enabled and eligible, otherwise
-    to the scalar runners (`run_fixed_prefetcher`/`run_fixed_arm`/
-    `run_bandit_prefetch`) lane by lane. Results are bit-identical either
-    way; under ``REPRO_SANITIZE=1`` the kernel path additionally replays
-    every lane through the object path and asserts lane-by-lane
-    equivalence (see :func:`repro.core_model.sanitizer.verify_lane_batch`).
+    Dispatches to the array kernel (wide batches), the dict kernel
+    (narrow batches, or ``REPRO_LANE_KERNEL=dict``), or — when disabled
+    or ineligible — the scalar runners (`run_fixed_prefetcher`/
+    `run_fixed_arm`/`run_bandit_prefetch`) lane by lane. Results are
+    bit-identical every way; under ``REPRO_SANITIZE=1`` the kernel paths
+    additionally replay every lane through the object path and assert
+    lane-by-lane equivalence (see
+    :func:`repro.core_model.sanitizer.verify_lane_batch`).
     """
     lanes = list(lanes)
     if params is None:
@@ -164,16 +235,18 @@ def run_lane_batch(
         params = PREFETCH_BANDIT_CONFIG
     if not lanes:
         return []
+    mode = resolve_lane_kernel_mode(len(lanes))
     if (
-        not lane_kernel_enabled()
+        mode == "scalar"
         or core_config.rob_size <= 0
-        or not lane_batch_eligible(trace, lanes, params)
+        or lane_batch_fallback_reason(trace, lanes, params) is not None
     ):
         return _run_lanes_scalar(
             trace, lanes, hierarchy_config, core_config, params
         )
     sanitize = sanitize_enabled()
-    results, checkpoints, step_logs = _lane_kernel(
+    kernel = _lane_kernel_dict if mode == "dict" else _lane_kernel_array
+    results, checkpoints, step_logs = kernel(
         trace, lanes, hierarchy_config, core_config, params,
         collect_logs=sanitize,
     )
@@ -182,7 +255,7 @@ def run_lane_batch(
 
         verify_lane_batch(
             trace, lanes, results, checkpoints, step_logs,
-            hierarchy_config, core_config, params,
+            hierarchy_config, core_config, params, kernel_mode=mode,
         )
     return results
 
@@ -222,18 +295,46 @@ def _run_lanes_scalar(
 # ============================================================ shared pre-pass
 
 
+def _lane_tracker_geometry(
+    lanes: Sequence[LaneSpec],
+    params: "PrefetchBanditParams",
+) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+    """``(tracker pairs, per-lane group index)`` for a lane batch.
+
+    Arm (and "none") lanes train the module-default
+    ``(NUM_STRIDE_TRACKERS, NUM_STREAM_TRACKERS)`` geometry; bandit lanes
+    train the ``params`` geometry. The ordered-unique pair list drives the
+    shared pre-pass (one table pair per distinct geometry) and the group
+    index maps each lane onto its pair's training outcomes.
+    """
+    default_pair = (NUM_STRIDE_TRACKERS, NUM_STREAM_TRACKERS)
+    pairs: List[Tuple[int, int]] = []
+    geo = np.zeros(len(lanes), dtype=np.int64)
+    for i, lane in enumerate(lanes):
+        pair = (
+            (params.num_stride_trackers, params.num_stream_trackers)
+            if lane.kind == "bandit" else default_pair
+        )
+        if pair not in pairs:
+            pairs.append(pair)
+        geo[i] = pairs.index(pair)
+    return pairs, geo
+
+
 def _shared_prepass(
     trace: CompiledTrace,
     hierarchy_config: HierarchyConfig,
     core_config: CoreConfig,
-    num_stride_trackers: int,
-    num_stream_trackers: int,
+    tracker_pairs: Sequence[Tuple[int, int]],
 ) -> Dict[str, object]:
     """Compute every lane-invariant per-record quantity, once.
 
     Produces the core index/anchor stream (vectorized), the full L1
     simulation (hit flag + victim block/dirtiness per record), and the
-    stride/stream training outcomes per L1-miss record.
+    stride/stream training outcomes per L1-miss record — one outcome set
+    per tracker-geometry pair in ``tracker_pairs`` (group 0 trains inline
+    during the L1 walk; extra geometries replay the recorded miss stream,
+    which is bit-exact because training reads only ``(pc, block)``).
     """
     pcs, blocks, flags_l, gaps_l = trace.as_lists()
     total = len(pcs)
@@ -284,8 +385,10 @@ def _shared_prepass(
     st_stride = [0] * total
     sm_ok = bytearray(total)
     sm_dir = [0] * total
+    miss_rows: List[int] = []
     # Real component instances at degree 1: training is degree-independent,
     # and a non-empty emission directly yields (ok, stride/direction).
+    num_stride_trackers, num_stream_trackers = tracker_pairs[0]
     stride_pf = StridePrefetcher(degree=1, num_trackers=num_stride_trackers)
     stream_pf = StreamPrefetcher(degree=1, num_trackers=num_stream_trackers)
     stride_observe = stride_pf.observe
@@ -304,6 +407,7 @@ def _shared_prepass(
             hit[t] = 1
             continue
         # L1 miss: train the shared tables, record the emission outcome.
+        miss_rows.append(t)
         st = stride_observe(pcs[t], block, 0.0, False)
         if st:
             st_ok[t] = 1
@@ -318,6 +422,35 @@ def _shared_prepass(
             l1_victim[t] = victim_block
             l1_victim_dirty[t] = 1 if cache_set.pop(victim_block) else 0
         cache_set[block] = bool(is_write)
+
+    # Extra tracker geometries: replay the recorded miss stream through a
+    # fresh table pair per geometry. Training only ever sees the L1-miss
+    # (pc, block) sequence, so the replay is bit-exact.
+    st_ok_g = [st_ok]
+    st_stride_g = [st_stride]
+    sm_ok_g = [sm_ok]
+    sm_dir_g = [sm_dir]
+    for n_stride, n_stream in tracker_pairs[1:]:
+        g_st_ok = bytearray(total)
+        g_st_stride = [0] * total
+        g_sm_ok = bytearray(total)
+        g_sm_dir = [0] * total
+        g_stride = StridePrefetcher(degree=1, num_trackers=n_stride).observe
+        g_stream = StreamPrefetcher(degree=1, num_trackers=n_stream).observe
+        for t in miss_rows:
+            block = blocks[t]
+            st = g_stride(pcs[t], block, 0.0, False)
+            if st:
+                g_st_ok[t] = 1
+                g_st_stride[t] = st[0] - block
+            sm = g_stream(pcs[t], block, 0.0, False)
+            if sm:
+                g_sm_ok[t] = 1
+                g_sm_dir[t] = sm[0] - block
+        st_ok_g.append(g_st_ok)
+        st_stride_g.append(g_st_stride)
+        sm_ok_g.append(g_sm_ok)
+        sm_dir_g.append(g_sm_dir)
 
     return {
         "total": total,
@@ -335,10 +468,10 @@ def _shared_prepass(
         "hit": hit,
         "l1_victim": l1_victim,
         "l1_victim_dirty": l1_victim_dirty,
-        "st_ok": st_ok,
-        "st_stride": st_stride,
-        "sm_ok": sm_ok,
-        "sm_dir": sm_dir,
+        "st_ok": st_ok_g,
+        "st_stride": st_stride_g,
+        "sm_ok": sm_ok_g,
+        "sm_dir": sm_dir_g,
         "loads": total - stores,
         "stores": stores,
         "commit_cost": commit_cost,
@@ -369,7 +502,77 @@ def _lane_checkpoint(
         ))
 
 
-def _lane_kernel(
+def _assemble_results(
+    lanes: List[LaneSpec],
+    loads: int,
+    stores: int,
+    records: int,
+    total_instructions: int,
+    retire_final: List[float],
+    l2da: int,
+    l2dh: Sequence[int],
+    llcda: Sequence[int],
+    llcdh: Sequence[int],
+    dram_fills: Sequence[int],
+    writebacks: Sequence[int],
+    pf_issued: Sequence[int],
+    pf_timely: Sequence[int],
+    pf_late: Sequence[int],
+    pf_wrong: Sequence[int],
+    pf_dropped: Sequence[int],
+    algorithms: Sequence[object],
+    arm_traces: Sequence[List[Tuple[float, int]]],
+) -> List["PrefetchRunResult"]:
+    """One ``PrefetchRunResult`` per lane from the kernel's final counters.
+
+    Counter sequences may be plain lists or numpy columns; every value is
+    cast to a builtin so the results pickle/serialize identically to the
+    scalar runners' output.
+    """
+    from repro.experiments.prefetch import PrefetchRunResult
+
+    results: List[PrefetchRunResult] = []
+    for i, lane in enumerate(lanes):
+        retire_i = float(retire_final[i])
+        stats = HierarchyStats(
+            loads=loads,
+            stores=stores,
+            l2_demand_accesses=l2da,
+            l2_demand_hits=int(l2dh[i]),
+            llc_demand_accesses=int(llcda[i]),
+            llc_demand_hits=int(llcdh[i]),
+            dram_demand_fills=int(dram_fills[i]),
+            writebacks=int(writebacks[i]),
+            prefetch=PrefetchOutcome(
+                issued=int(pf_issued[i]),
+                timely=int(pf_timely[i]),
+                late=int(pf_late[i]),
+                wrong=int(pf_wrong[i]),
+                dropped=int(pf_dropped[i]),
+            ),
+        )
+        if lane.kind == "bandit":
+            arm_history = list(algorithms[i].selection_history)
+            arm_trace = arm_traces[i]
+        elif lane.kind == "arm":
+            arm_history = [lane.arm]
+            arm_trace = []
+        else:
+            arm_history = []
+            arm_trace = []
+        results.append(PrefetchRunResult(
+            ipc=total_instructions / retire_i if retire_i else 0.0,
+            instructions=total_instructions,
+            cycles=retire_i,
+            stats=stats,
+            arm_history=arm_history,
+            arm_trace=arm_trace,
+            records=records,
+        ))
+    return results
+
+
+def _lane_kernel_dict(
     trace: CompiledTrace,
     lanes: List[LaneSpec],
     hierarchy_config: HierarchyConfig,
@@ -381,22 +584,21 @@ def _lane_kernel(
     List[List[StepRecord]],
     Dict[int, List[StepRecord]],
 ]:
-    """Advance every lane through the trace in one fused pass.
+    """Advance every lane through the trace in one fused pass (dict path).
 
-    Returns ``(results, checkpoint_logs, bandit_step_logs)``; the logs are
-    only populated when ``collect_logs`` (the sanitizer's capture).
+    This is the PR 6 kernel, kept for one release behind
+    ``REPRO_LANE_KERNEL=dict`` as an oracle for the array-resident kernel:
+    the memory side is plain per-lane dicts updated in a per-lane Python
+    loop on every L1-miss record. Returns
+    ``(results, checkpoint_logs, bandit_step_logs)``; the logs are only
+    populated when ``collect_logs`` (the sanitizer's capture).
     """
-    from repro.experiments.prefetch import PrefetchRunResult
-
     num_lanes = len(lanes)
     has_bandit = any(lane.kind == "bandit" for lane in lanes)
-    tracker_pair = (
-        (params.num_stride_trackers, params.num_stream_trackers)
-        if has_bandit
-        else (NUM_STRIDE_TRACKERS, NUM_STREAM_TRACKERS)
-    )
+    tracker_pairs, geo = _lane_tracker_geometry(lanes, params)
+    geo_l = geo.tolist()
     pre = _shared_prepass(
-        trace, hierarchy_config, core_config, *tracker_pair
+        trace, hierarchy_config, core_config, tracker_pairs
     )
     total = pre["total"]
     blocks = pre["blocks"]
@@ -561,6 +763,7 @@ def _lane_kernel(
     # repro: mirror[lane-bandit-step]
     def fire_hook(i: int, retire_i: float, instructions: int) -> None:
         """Per-lane transcription of run_bandit_prefetch's bandit_hook."""
+        # repro: mirror[lane-array-bandit-step] begin
         bandit = bandits[i]
         if pending[i] != applied[i] and retire_i >= bandit.selection_ready_cycle:
             apply_arm(i, pending[i])
@@ -577,10 +780,12 @@ def _lane_kernel(
             bandit.selection_ready_cycle
             if pending[i] != applied[i] else _INF
         )
+        # repro: mirror[lane-array-bandit-step] end
 
     # repro: mirror[lane-fill-llc]
     def fill_llc(i: int, block: int, dirty: bool) -> None:
         """Per-lane transcription of the scalar kernel's fill_llc closure."""
+        # repro: mirror[lane-array-fill-llc] begin
         cache_set = llc_sets[i][block % llc_num_sets]
         existing = cache_set.pop(block, None)
         if existing is not None:
@@ -596,6 +801,7 @@ def _lane_kernel(
                 dram_free[i] += dram_line_cost
         else:
             cache_set[block] = dirty
+        # repro: mirror[lane-array-fill-llc] end
 
     # repro: mirror[lane-fill-l2]
     def fill_l2(i: int, block: int, line: int) -> None:
@@ -605,6 +811,7 @@ def _lane_kernel(
         dirty); an existing line only absorbs the dirty bit, as the
         object path's fill does.
         """
+        # repro: mirror[lane-array-fill-l2] begin
         cache_set = l2_sets[i][block % l2_num_sets]
         existing = cache_set.pop(block, None)
         if existing is not None:
@@ -621,6 +828,7 @@ def _lane_kernel(
                 fill_llc(i, victim_block, True)
         else:
             cache_set[block] = line
+        # repro: mirror[lane-array-fill-l2] end
 
     def drain_mshr(i: int, cycle_i: float) -> None:
         """MSHR drain for one lane: complete every fill now ready.
@@ -628,6 +836,7 @@ def _lane_kernel(
         The clean-fill ``fill_l2``/``fill_llc`` bodies are inlined — this
         is the hot fill path (roughly one fill per lane per miss row).
         """
+        # repro: mirror[lane-array-drain] begin
         heap = heaps[i]
         inflight_i = inflight[i]
         l2_sets_i = l2_sets[i]
@@ -672,6 +881,7 @@ def _lane_kernel(
             else:
                 cache_set[fill_block] = False
         nfr[i] = heap[0][0] if heap else _INF
+        # repro: mirror[lane-array-drain] end
 
     # ---- per-lane core clocks as (N,) float64 columns; rlog[t + 1] is the
     # retire-time column after row t, and row 0 is a permanent zero row so
@@ -745,11 +955,11 @@ def _lane_kernel(
             victim_block_t = l1_victim[t]
             victim_wb = victim_block_t >= 0 and l1_victim_dirty[t]
             nl_cand = block + 1
-            st_d_row = st_stride_l[t]
-            sm_d_row = sm_dir_l[t]
-            st_hit_row = st_ok[t]
-            sm_hit_row = sm_ok[t]
-            cand_memo: Dict[Tuple[bool, int, int], List[int]] = {}
+            st_d_rows = [grp[t] for grp in st_stride_l]
+            sm_d_rows = [grp[t] for grp in sm_dir_l]
+            st_hit_rows = [grp[t] for grp in st_ok]
+            sm_hit_rows = [grp[t] for grp in sm_ok]
+            cand_memo: Dict[Tuple[int, bool, int, int], List[int]] = {}
             # Every lane misses together: one shared demand-access bump.
             # Nothing between here and the end-of-row hook check reads it
             # except fire_hook, which only runs there.
@@ -770,6 +980,7 @@ def _lane_kernel(
                         applied[i] = pending[i]
                         hook_cyc[i] = _INF
             # repro: mirror[lane-demand-path] begin
+            # repro: mirror[lane-array-demand-path] begin
             for i in range(num_lanes):
                 cycle_i = cycle_l[i]
                 if nfr[i] <= cycle_i:
@@ -848,21 +1059,22 @@ def _lane_kernel(
                 arm_t = lane_arm[i]
                 if arm_t is not None:
                     nl_on, st_d, sm_d = arm_t
-                    if not st_hit_row:
+                    g = geo_l[i]
+                    if not st_hit_rows[g]:
                         st_d = 0
-                    if not sm_hit_row:
+                    if not sm_hit_rows[g]:
                         sm_d = 0
                     if nl_on or st_d or sm_d:
-                        key = (nl_on, st_d, sm_d)
+                        key = (g, nl_on, st_d, sm_d)
                         candidates = cand_memo.get(key)
                         if candidates is None:
                             # EnsemblePrefetcher.observe's emission order:
                             # next-line, then deduped stride, then stream.
                             nl = [nl_cand] if nl_on else []
-                            st = ([block + st_d_row * k
+                            st = ([block + st_d_rows[g] * k
                                    for k in range(1, st_d + 1)]
                                   if st_d else [])
-                            sm = ([block + sm_d_row * k
+                            sm = ([block + sm_d_rows[g] * k
                                    for k in range(1, sm_d + 1)]
                                   if sm_d else [])
                             if not st and not sm:
@@ -906,6 +1118,7 @@ def _lane_kernel(
                 # On write rows ready_l aliases cycle_l; cycle_l[i] was
                 # already consumed, so the stray write is harmless.
                 ready_l[i] = ready_i
+            # repro: mirror[lane-array-demand-path] end
             # repro: mirror[lane-demand-path] end
             if is_write:
                 retire += commit_cost
@@ -964,42 +1177,1383 @@ def _lane_kernel(
                 if line & 1 and not line & 2:
                     pf_wrong[i] += 1
 
-    results: List[PrefetchRunResult] = []
-    for i, lane in enumerate(lanes):
-        retire_i = retire_final[i]
-        stats = HierarchyStats(
-            loads=pre["loads"],
-            stores=pre["stores"],
-            l2_demand_accesses=l2da,
-            l2_demand_hits=l2dh[i],
-            llc_demand_accesses=llcda[i],
-            llc_demand_hits=llcdh[i],
-            dram_demand_fills=dram_fills[i],
-            writebacks=writebacks[i],
-            prefetch=PrefetchOutcome(
-                issued=pf_issued[i],
-                timely=pf_timely[i],
-                late=pf_late[i],
-                wrong=pf_wrong[i],
-                dropped=pf_dropped[i],
-            ),
-        )
-        if lane.kind == "bandit":
-            arm_history = list(algorithms[i].selection_history)
-            arm_trace = arm_traces[i]
-        elif lane.kind == "arm":
-            arm_history = [lane.arm]
-            arm_trace = []
-        else:
-            arm_history = []
-            arm_trace = []
-        results.append(PrefetchRunResult(
-            ipc=total_instructions / retire_i if retire_i else 0.0,
-            instructions=total_instructions,
-            cycles=retire_i,
-            stats=stats,
-            arm_history=arm_history,
-            arm_trace=arm_trace,
-            records=total,
-        ))
+    results = _assemble_results(
+        lanes, pre["loads"], pre["stores"], total, total_instructions,
+        retire_final, l2da, l2dh, llcda, llcdh, dram_fills, writebacks,
+        pf_issued, pf_timely, pf_late, pf_wrong, pf_dropped,
+        algorithms, arm_traces,
+    )
     return results, checkpoint_logs, step_logs
+
+
+# ===================================================== array-resident kernel
+
+
+class _BanditLanes:
+    """Bandit state for a lane batch's ``"bandit"`` lanes (array kernel).
+
+    Owns the real ``MicroArmedBandit``/DUCB objects per lane plus the hook
+    thresholds as ``(N,)`` float64 columns (``inf`` on non-bandit lanes),
+    so the kernel's end-of-row hook check is a single vector compare.
+    """
+
+    def __init__(
+        self,
+        lanes: Sequence[LaneSpec],
+        params: "PrefetchBanditParams",
+        apply_arm: Callable[[int, int], None],
+        collect_logs: bool,
+    ) -> None:
+        num_lanes = len(lanes)
+        self.step_accesses = params.step_l2_accesses
+        self.apply_arm = apply_arm
+        self.collect_logs = collect_logs
+        self.lane_indices = [
+            i for i, lane in enumerate(lanes) if lane.kind == "bandit"
+        ]
+        self.bandits: List[Optional[MicroArmedBandit]] = [None] * num_lanes
+        self.algorithms: List[object] = [None] * num_lanes
+        self.pending = [0] * num_lanes
+        self.applied = [0] * num_lanes
+        self.next_boundary = [0] * num_lanes
+        self.hook_l2 = np.full(num_lanes, _INF)
+        self.hook_cyc = np.full(num_lanes, _INF)
+        self.arm_traces: List[List[Tuple[float, int]]] = [
+            [] for _ in range(num_lanes)
+        ]
+        self.step_logs: Dict[int, List[StepRecord]] = {}
+        if not self.lane_indices:
+            return
+        from repro.experiments.configs import prefetch_bandit_algorithm
+
+        for i in self.lane_indices:
+            algorithm = prefetch_bandit_algorithm(
+                seed=lanes[i].seed, params=params
+            )
+            bandit = MicroArmedBandit(
+                algorithm,
+                selection_latency_cycles=params.selection_latency_cycles,
+            )
+            # Mirrors run_bandit_prefetch's episode setup on a fresh core.
+            bandit.reset_counters(PerformanceCounters(0, 0.0))
+            arm = bandit.begin_step(0.0)
+            self.pending[i] = arm
+            self.applied[i] = arm
+            apply_arm(i, arm)
+            self.arm_traces[i] = [(0.0, arm)]
+            self.next_boundary[i] = self.step_accesses
+            self.algorithms[i] = algorithm
+            self.bandits[i] = bandit
+            # The scalar kernel's initial -inf thresholds fire the hook
+            # after the first record just to install real thresholds; with
+            # step_l2_accesses >= 1 (enforced by eligibility) the
+            # post-fire state is installed directly: the l2 threshold is
+            # the first boundary and no cycle threshold is armed.
+            self.hook_l2[i] = self.next_boundary[i]
+            if collect_logs:
+                self.step_logs[i] = []
+                self.log_step(i, 0, 0.0, 0)
+
+    def log_step(
+        self, i: int, instructions: int, retire_i: float, l2da: int
+    ) -> None:
+        log = self.step_logs[i]
+        algorithm = self.algorithms[i]
+        log.append(StepRecord(
+            step=len(log),
+            instructions=instructions,
+            cycles=retire_i,
+            ipc=instructions / retire_i if retire_i else 0.0,
+            l2_demand_accesses=l2da,
+            arm=self.pending[i],
+            reward_estimates=tuple(algorithm.reward_estimates()),
+            selection_counts=tuple(algorithm.selection_counts()),
+        ))
+
+    # repro: mirror[lane-array-bandit-step]
+    def fire(
+        self, i: int, retire_i: float, instructions: int, l2da: int
+    ) -> None:
+        """Per-lane transcription of run_bandit_prefetch's bandit_hook."""
+        bandit = self.bandits[i]
+        if (
+            self.pending[i] != self.applied[i]
+            and retire_i >= bandit.selection_ready_cycle
+        ):
+            self.apply_arm(i, self.pending[i])
+            self.applied[i] = self.pending[i]
+        if l2da >= self.next_boundary[i]:
+            self.next_boundary[i] = l2da + self.step_accesses
+            bandit.end_step(PerformanceCounters(instructions, retire_i))
+            self.pending[i] = bandit.begin_step(retire_i)
+            self.arm_traces[i].append((retire_i, self.pending[i]))
+            if self.collect_logs:
+                self.log_step(i, instructions, retire_i, l2da)
+        self.hook_l2[i] = self.next_boundary[i]
+        self.hook_cyc[i] = (
+            bandit.selection_ready_cycle
+            if self.pending[i] != self.applied[i] else _INF
+        )
+
+    def apply_pending(self, i: int) -> None:
+        """Deferred cycle-threshold fire: only the arm swap is observable."""
+        self.apply_arm(i, self.pending[i])
+        self.applied[i] = self.pending[i]
+        self.hook_cyc[i] = _INF
+
+    def flush(
+        self, i: int, instructions: int, retire_i: float, l2da: int
+    ) -> None:
+        """Trailing partial step (run_bandit_prefetch's flush)."""
+        self.bandits[i].flush_step(
+            PerformanceCounters(instructions, retire_i)
+        )
+        if self.collect_logs:
+            self.log_step(i, instructions, retire_i, l2da)
+
+
+_ARANGE_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _arange(n: int) -> np.ndarray:
+    """A cached ``np.arange(n)`` (the kernel re-uses a few small sizes).
+
+    Callers must treat the returned array as read-only.
+    """
+    cached = _ARANGE_CACHE.get(n)
+    if cached is None:
+        cached = np.arange(n)
+        _ARANGE_CACHE[n] = cached
+    return cached
+
+
+def _fill_rows(
+    flat: np.ndarray,
+    cflat: np.ndarray,
+    sflat: np.ndarray,
+    keys: np.ndarray,
+    blocks: np.ndarray,
+    flags: np.ndarray,
+    ctr: int,
+) -> np.ndarray:
+    """Generic cache fill over flattened ``(lane row, set index)`` keys.
+
+    Mirrors the dict kernels' fill closures under the stamp-LRU layout:
+    way positions are stable and recency lives in the ``sflat``
+    last-touch stamps, so a hit touch and an insert are single-element
+    scatters instead of O(ways) MRU shifts. An existing line absorbs
+    only the incoming dirty bit; an absent line lands at way ``count``
+    (sets fill left to right and lines are never invalidated) or
+    replaces the argmin-stamp way of a full set — the least recently
+    touched line, exactly the dict kernels' move-to-end victim, because
+    stamps are assigned from one monotone counter per touch event.
+    ``flat``/``cflat``/``sflat`` are the ``(N * sets, ...)`` views of a
+    level's line, count, and stamp arrays and ``keys`` is ``row *
+    num_sets + set``. ``keys`` must be duplicate-free (each call
+    touches a lane's set at most once), which also keeps a set's
+    occupied-way stamps pairwise distinct under the shared per-call
+    ``ctr``. Returns the packed victim per key (``-1`` = none).
+    """
+    k = keys.shape[0]
+    set_rows = flat[keys]
+    match = (set_rows >> 3) == blocks[:, None]
+    if not match.any():
+        count = cflat[keys]
+        full = count == flat.shape[1]
+        if full.all():
+            # Thrash steady state: every set is full — victim selection
+            # is one argmin and the counts never move.
+            spos = np.argmin(sflat[keys], axis=1)
+            victims = set_rows[_arange(k), spos]
+        else:
+            spos = np.where(full, np.argmin(sflat[keys], axis=1), count)
+            victims = np.where(full, set_rows[_arange(k), spos], -1)
+            cflat[keys] = count + ~full
+        flat[keys, spos] = blocks * 8 + flags
+        sflat[keys, spos] = ctr
+        return victims
+    found = match.any(axis=1)
+    victims = np.full(k, -1, dtype=np.int64)
+    pos = match.argmax(axis=1)
+    h = found.nonzero()[0]
+    hp = pos[h]
+    hk = keys[h]
+    flat[hk, hp] = set_rows[h, hp] | (flags[h] & 4)
+    sflat[hk, hp] = ctr
+    m = (~found).nonzero()[0]
+    if m.size:
+        mk = keys[m]
+        count = cflat[mk]
+        full = count == flat.shape[1]
+        spos = np.where(full, np.argmin(sflat[mk], axis=1), count)
+        victims[m] = np.where(full, set_rows[m, spos], -1)
+        flat[mk, spos] = blocks[m] * 8 + flags[m]
+        sflat[mk, spos] = ctr
+        if not full.all():
+            cflat[mk] = count + ~full
+    return victims
+
+
+@dataclass
+class _ArrayState:
+    """Array-resident L2/LLC state plus the accounting columns the fill
+    path touches (writebacks, wrong prefetches, DRAM channel timing)."""
+
+    l2_data: np.ndarray  #: (N, l2 sets, l2 ways) packed lines, -1 = empty
+    l2_cnt: np.ndarray  #: (N, l2 sets) occupied-way counts
+    l2_stamp: np.ndarray  #: (N, l2 sets, l2 ways) last-touch stamps
+    llc_data: np.ndarray  #: (N, llc sets, llc ways) packed lines
+    llc_cnt: np.ndarray  #: (N, llc sets) occupied-way counts
+    llc_stamp: np.ndarray  #: (N, llc sets, llc ways) last-touch stamps
+    #: Flattened (N * sets, ...) views of the arrays above — the fill
+    #: path indexes them with one flat key per (lane, set) pair.
+    l2_flat: np.ndarray
+    l2_cnt_flat: np.ndarray
+    l2_stamp_flat: np.ndarray
+    llc_flat: np.ndarray
+    llc_cnt_flat: np.ndarray
+    llc_stamp_flat: np.ndarray
+    l2_num_sets: int
+    llc_num_sets: int
+    dram_line_cost: float
+    dram_free: np.ndarray  #: (N,) DRAM channel-free cycle
+    ipf: np.ndarray  #: (N,) in-flight prefetch count
+    writebacks: np.ndarray  #: (N,) dirty-victim writeback count
+    pf_wrong: np.ndarray  #: (N,) prefetched-but-never-used eviction count
+    #: Monotone touch counter: every vectorized touch event (fill wave,
+    #: demand hit batch) stamps the ways it touches with a fresh value,
+    #: so argmin(stamp) over a full set is the dict kernels' LRU victim.
+    ctr: int = 0
+
+
+# repro: mirror[lane-array-fill-llc]
+def _fill_llc_rows(
+    st: _ArrayState,
+    rows: np.ndarray,
+    blocks: np.ndarray,
+    flags: np.ndarray,
+    keys: Optional[np.ndarray] = None,
+) -> None:
+    """Vectorized transcription of the scalar kernel's fill_llc closure.
+
+    ``keys`` is the optional precomputed flat ``row * sets + set`` index
+    (the drain already has it for collision checks).
+    """
+    if keys is None:
+        keys = rows * np.int64(st.llc_num_sets) + blocks % st.llc_num_sets
+    st.ctr += 1
+    victims = _fill_rows(
+        st.llc_flat, st.llc_cnt_flat, st.llc_stamp_flat, keys, blocks,
+        flags, st.ctr,
+    )
+    # -1 & 4 is truthy in two's complement, so empty ways need the >= 0
+    # guard before the dirty-bit test.
+    dirty = (victims >= 0) & ((victims & 4) != 0)
+    if dirty.any():
+        # Unbuffered adds: drain waves may carry one lane twice (distinct
+        # sets), and fancy-index += would drop the duplicate. Repeated
+        # adds of the same constant are order-independent, so this stays
+        # bit-identical to the dict kernel's sequential accounting.
+        wrows = rows[dirty]
+        np.add.at(st.writebacks, wrows, 1)
+        np.add.at(st.dram_free, wrows, st.dram_line_cost)
+
+
+# repro: mirror[lane-array-fill-l2]
+def _fill_l2_rows(
+    st: _ArrayState, rows: np.ndarray, blocks: np.ndarray, flags: np.ndarray
+) -> None:
+    """Vectorized transcription of the scalar kernel's fill_l2 closure.
+
+    ``flags`` is the packed incoming line (bit0 prefetched, bit2 dirty);
+    an existing line only absorbs the dirty bit. A victim that was
+    prefetched but never used counts as pf_wrong; a dirty victim cascades
+    into the LLC.
+    """
+    keys = rows * np.int64(st.l2_num_sets) + blocks % st.l2_num_sets
+    st.ctr += 1
+    victims = _fill_rows(
+        st.l2_flat, st.l2_cnt_flat, st.l2_stamp_flat, keys, blocks,
+        flags, st.ctr,
+    )
+    # (victim & 3) == 1 means prefetched-and-never-used; -1 (empty) gives
+    # 3 and can never hit, so no occupancy guard is needed here.
+    wrong = (victims & 3) == 1
+    if wrong.any():
+        st.pf_wrong[rows[wrong]] += 1
+    dirty = (victims >= 0) & ((victims & 4) != 0)
+    if dirty.any():
+        drows = rows[dirty]
+        _fill_llc_rows(
+            st, drows, victims[dirty] >> 3,
+            np.full(drows.shape[0], 4, dtype=np.int64),
+        )
+
+
+def _fill_l2_wb(st: _ArrayState, rows_all: np.ndarray, block: int) -> None:
+    """L1 dirty-victim writeback into every lane's L2 at once.
+
+    Same transcription as :func:`_fill_l2_rows`, specialized for the one
+    call shape the kernel issues per record: a single shared block (one
+    L2 set) across all N lanes with a dirty incoming line. The probes
+    and scatters run on basic column views of the (N, sets, ways)
+    arrays, so nothing here pays flat fancy-key traffic.
+    """
+    s = block % st.l2_num_sets
+    view = st.l2_data[:, s]
+    sview = st.l2_stamp[:, s]
+    st.ctr += 1
+    ctr = st.ctr
+    match = (view >> 3) == block
+    packed = block * 8 + 4
+    if not match.any():
+        cview = st.l2_cnt[:, s]
+        full = cview == view.shape[1]
+        if full.all():
+            spos = np.argmin(sview, axis=1)
+            victims = view[rows_all, spos]
+        else:
+            spos = np.where(full, np.argmin(sview, axis=1), cview)
+            victims = np.where(full, view[rows_all, spos], -1)
+            cview += ~full
+        view[rows_all, spos] = packed
+        sview[rows_all, spos] = ctr
+    else:
+        found = match.any(axis=1)
+        victims = np.full(view.shape[0], -1, dtype=np.int64)
+        pos = match.argmax(axis=1)
+        h = found.nonzero()[0]
+        hp = pos[h]
+        # An existing line only absorbs the incoming dirty bit.
+        view[h, hp] |= 4
+        sview[h, hp] = ctr
+        m = (~found).nonzero()[0]
+        if m.size:
+            count = st.l2_cnt[m, s]
+            full = count == view.shape[1]
+            spos = np.where(full, np.argmin(sview[m], axis=1), count)
+            victims[m] = np.where(full, view[m, spos], -1)
+            view[m, spos] = packed
+            sview[m, spos] = ctr
+            if not full.all():
+                st.l2_cnt[m, s] = count + ~full
+    wrong = (victims & 3) == 1
+    if wrong.any():
+        st.pf_wrong[wrong] += 1
+    dirty = (victims >= 0) & ((victims & 4) != 0)
+    if dirty.any():
+        drows = dirty.nonzero()[0]
+        _fill_llc_rows(
+            st, drows, victims[dirty] >> 3,
+            np.full(drows.shape[0], 4, dtype=np.int64),
+        )
+
+
+#: Block-id sentinel for lexicographic tie-breaks (no real block reaches it).
+_I64_MAX = np.iinfo(np.int64).max
+
+
+@dataclass
+class _FillQueue:
+    """Per-lane MSHR fill queues as hole-tolerant append columns.
+
+    Row ``i``'s slots ``[0, tail[i])`` hold its in-flight fills plus the
+    holes completed fills leave behind; holes carry the ``(+inf, -1,
+    False)`` pad triple, so due-scans, membership probes, and
+    min-reductions skip them for free. Removal is therefore a masked
+    scatter (no per-drain compaction), and slots are reclaimed wholesale
+    by an amortized :meth:`_compact` only when an insert would overrun
+    capacity. The drain orders extracted fills by lexicographic
+    ``(ready, block)`` *value* — exactly the dict kernel's heap order —
+    so storage order never matters. ``length`` counts real entries (the
+    MSHR occupancy check), ``nfr`` caches each row's minimum ready cycle
+    (``+inf`` when empty), and ``hi == max(tail)`` bounds scans.
+
+    ``tab`` counts live entries per ``block & 255`` bucket, giving the
+    kernel's membership probe exact negatives from one ``(N, C)`` gather;
+    only bucket collisions fall back to scanning queue slots, so the
+    probe's byte traffic no longer scales with MSHR capacity.
+    """
+
+    ready: np.ndarray  #: (N, mshr) fill-ready cycles, +inf padded
+    block: np.ndarray  #: (N, mshr) block ids, -1 padded
+    pf: np.ndarray  #: (N, mshr) prefetch-fill flags
+    length: np.ndarray  #: (N,) live entry counts (holes excluded)
+    tail: np.ndarray  #: (N,) append cursors (holes included)
+    nfr: np.ndarray  #: (N,) next fill-ready cycle (min over the row)
+    tab: np.ndarray  #: (N, 256) bucket occupancy counts (block & 255)
+    capacity: int = 0
+    hi: int = 0
+
+    @classmethod
+    def create(cls, num_lanes: int, capacity: int) -> "_FillQueue":
+        return cls(
+            ready=np.full((num_lanes, capacity), _INF),
+            block=np.full((num_lanes, capacity), -1, dtype=np.int64),
+            pf=np.zeros((num_lanes, capacity), dtype=bool),
+            length=np.zeros(num_lanes, dtype=np.int64),
+            tail=np.zeros(num_lanes, dtype=np.int64),
+            nfr=np.full(num_lanes, _INF),
+            tab=np.zeros((num_lanes, 256), dtype=np.int16),
+            capacity=capacity,
+        )
+
+    def _compact(self) -> None:
+        """Squeeze holes out of every row (stable), resetting ``tail``.
+
+        A stable argsort on the hole mask moves each row's live entries
+        to the front in their current relative order and parks the pad
+        triples behind them, so no pad restore pass is needed.
+        """
+        hi = self.hi
+        holes = self.block[:, :hi] == -1
+        order = np.argsort(holes, axis=1, kind="stable")
+        lidx = _arange(holes.shape[0])[:, None]
+        self.ready[:, :hi] = self.ready[lidx, order]
+        self.block[:, :hi] = self.block[lidx, order]
+        self.pf[:, :hi] = self.pf[lidx, order]
+        self.tail[:] = self.length
+        self.hi = int(self.length.max())
+
+    def insert(
+        self,
+        rows: np.ndarray,
+        ready_vals: np.ndarray,
+        blocks: np.ndarray | int,
+        is_pf: bool,
+    ) -> None:
+        """Insert one in-flight fill per row (capacity checked by caller).
+
+        ``blocks`` may be a scalar block id (demand fills of one record
+        share it; the scatter broadcasts).
+        """
+        if self.hi >= self.capacity:
+            self._compact()
+        pos = self.tail[rows]
+        self.ready[rows, pos] = ready_vals
+        self.block[rows, pos] = blocks
+        if is_pf:
+            self.pf[rows, pos] = True
+        # rows are unique, so (row, bucket) pairs are too: plain fancy
+        # += is safe here (unlike the drain's removals).
+        self.tab[rows, blocks & 255] += 1
+        self.tail[rows] = pos + 1
+        self.length[rows] += 1
+        self.nfr[rows] = np.minimum(self.nfr[rows], ready_vals)
+        new_hi = int(pos.max()) + 1
+        if new_hi > self.hi:
+            self.hi = new_hi
+
+    def insert_many(
+        self,
+        ready_mat: np.ndarray,
+        block_mat: np.ndarray,
+        ins: np.ndarray,
+        cum: np.ndarray,
+        add: np.ndarray,
+    ) -> None:
+        """Batch-insert the ``ins``-masked prefetch fills of one record.
+
+        ``ins`` is ``(N, candidates)`` in per-lane candidate order.
+        ``ready_mat`` and ``block_mat`` match it — or collapse to 1-D
+        when the caller's values do not vary along the collapsed axis
+        (a shared candidate row: ``block_mat`` of shape ``(candidates,)``;
+        a per-lane ready cycle shared by every candidate: ``ready_mat``
+        of shape ``(N,)``), which skips materializing broadcast views on
+        the hot path. ``cum`` is the caller's inclusive running
+        candidate count along each row (its budget cursor — on ``ins``
+        positions ``cum - 1`` equals the insert's per-lane rank, since
+        the budget cut keeps a prefix), and ``add`` is the caller's
+        per-row insert count. The caller's drop budget guarantees
+        ``length`` stays within capacity; ``tail`` may overrun first,
+        which triggers an amortized compaction.
+        """
+        rows_idx, cand_idx = ins.nonzero()
+        if not rows_idx.size:
+            return
+        if self.hi + int(add.max()) > self.capacity:
+            self._compact()
+        pos = self.tail[rows_idx] + cum[rows_idx, cand_idx] - 1
+        blocks = (
+            block_mat[cand_idx] if block_mat.ndim == 1
+            else block_mat[rows_idx, cand_idx]
+        )
+        if ready_mat.ndim == 1:
+            self.ready[rows_idx, pos] = ready_mat[rows_idx]
+            row_min = np.where(add > 0, ready_mat, _INF)
+        else:
+            self.ready[rows_idx, pos] = ready_mat[rows_idx, cand_idx]
+            row_min = np.where(ins, ready_mat, _INF).min(axis=1)
+        self.block[rows_idx, pos] = blocks
+        self.pf[rows_idx, pos] = True
+        # One lane may insert bucket-colliding blocks in one record, so
+        # the count update must not collapse duplicate indices.
+        np.add.at(self.tab, (rows_idx, blocks & 255), 1)
+        self.tail += add
+        self.length += add
+        np.minimum(self.nfr, row_min, out=self.nfr)
+        new_hi = int(self.tail.max())
+        if new_hi > self.hi:
+            self.hi = new_hi
+
+    def remove_due(
+        self, cycle: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Extract every fill ready by ``cycle`` (all fills when None).
+
+        Returns ``(rows, readys, blocks, pf flags)`` of the removed
+        entries, unordered. Removed slots become holes (pads restored by
+        scatter); ``length``/``nfr`` are refreshed in place, and the
+        append cursors rewind to zero whenever the queue empties out
+        (the common thrash-path shape), keeping scans narrow.
+        """
+        hi = self.hi
+        if cycle is None:
+            due = self.block[:, :hi] != -1
+        else:
+            # Hole slots carry +inf ready cycles, so they are never due.
+            due = self.ready[:, :hi] <= cycle[:, None]
+        rows_idx, slot_idx = due.nonzero()
+        if not rows_idx.size:
+            return rows_idx, np.empty(0), rows_idx, np.empty(0, dtype=bool)
+        readys = self.ready[rows_idx, slot_idx]
+        blocks = self.block[rows_idx, slot_idx]
+        pfs = self.pf[rows_idx, slot_idx]
+        self.ready[rows_idx, slot_idx] = _INF
+        self.block[rows_idx, slot_idx] = -1
+        self.pf[rows_idx, slot_idx] = False
+        self.length -= np.bincount(rows_idx, minlength=self.length.shape[0])
+        if not self.length.any():
+            self.tab[:] = 0
+            self.tail[:] = 0
+            self.nfr[:] = _INF
+            self.hi = 0
+        else:
+            np.add.at(self.tab, (rows_idx, blocks & 255), -1)
+            self.nfr[:] = self.ready[:, :hi].min(axis=1)
+        return rows_idx, readys, blocks, pfs
+
+
+def _rank_within(keys: np.ndarray) -> np.ndarray:
+    """Occurrence rank of each element among equal ``keys``, in array order."""
+    n = keys.shape[0]
+    sidx = np.argsort(keys, kind="stable")
+    ksorted = keys[sidx]
+    newgrp = np.empty(n, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(ksorted[1:], ksorted[:-1], out=newgrp[1:])
+    grp_start = np.maximum.accumulate(np.where(newgrp, _arange(n), 0))
+    rank = np.empty(n, dtype=np.int64)
+    rank[sidx] = _arange(n) - grp_start
+    return rank
+
+
+# repro: mirror[lane-array-drain]
+def _drain_ready_fills(
+    st: _ArrayState, fq: _FillQueue, cycle: Optional[np.ndarray]
+) -> None:
+    """Complete every in-flight fill that is ready by ``cycle``.
+
+    One-shot transcription of the dict kernel's drain_mshr. A fill only
+    touches its own (lane, set) line array and its accounting adds
+    commute, so the completion order the dict kernel's heap imposes
+    matters only *within* a (lane, set) pair. The drain therefore
+    extracts every due fill at once and applies each cache level in
+    occurrence-rank waves: fills are sorted by the heap's (ready, block)
+    order, each wave carries at most one fill per (lane, set), and ranks
+    replay the per-set order exactly. Dirty L2 victims spill into the
+    LLC sequenced with the dict kernel's interleaving — the victim of
+    fill k lands before fill k's own LLC line. ``cycle=None`` drains
+    everything (hierarchy finalize).
+    """
+    rows_u, readys, blocks, pfs = fq.remove_due(cycle)
+    k = rows_u.shape[0]
+    if not k:
+        return
+    if pfs.any():
+        st.ipf -= np.bincount(rows_u[pfs], minlength=st.ipf.shape[0])
+    # Phase 1 — L2 fills. When no two fills share a (lane, L2 set), the
+    # per-set order is vacuous and one unordered wave suffices (the
+    # common case: a drain point rarely completes set-colliding fills
+    # together); otherwise sort into heap order and replay rank waves.
+    sets2 = blocks % st.l2_num_sets
+    l2_keys = rows_u * np.int64(st.l2_num_sets) + sets2
+    sk = np.sort(l2_keys)
+    ordered = False
+    if bool((sk[1:] == sk[:-1]).any()):
+        order = np.lexsort((blocks, readys, rows_u))
+        rows_u = rows_u[order]
+        readys = readys[order]
+        blocks = blocks[order]
+        pfs = pfs[order]
+        l2_keys = l2_keys[order]
+        ordered = True
+        l2_rank = _rank_within(l2_keys)
+        victims = np.empty(k, dtype=np.int64)
+        for r in range(int(l2_rank.max()) + 1):
+            m = l2_rank == r
+            st.ctr += 1
+            victims[m] = _fill_rows(
+                st.l2_flat, st.l2_cnt_flat, st.l2_stamp_flat, l2_keys[m],
+                blocks[m], pfs[m].astype(np.int64), st.ctr,
+            )
+    else:
+        st.ctr += 1
+        victims = _fill_rows(
+            st.l2_flat, st.l2_cnt_flat, st.l2_stamp_flat, l2_keys, blocks,
+            pfs.astype(np.int64), st.ctr,
+        )
+    wrong = (victims & 3) == 1
+    if wrong.any():
+        st.pf_wrong += np.bincount(
+            rows_u[wrong], minlength=st.pf_wrong.shape[0]
+        )
+    dirty = (victims >= 0) & ((victims & 4) != 0)
+    have_dirty = bool(dirty.any())
+    zeros_k = np.zeros(k, dtype=np.int64)
+    # Phase 2 — LLC fills, with dirty L2 victims spilled in between. When
+    # the fills and the spilled victims together touch each (lane, LLC
+    # set) at most once, the heap's per-set order is again vacuous and
+    # one unordered wave covers fills *and* victim writebacks (their
+    # accounting adds commute); otherwise replay heap order (sorting
+    # victims *after* the unordered L2 wave is sound — collision-free
+    # victims are order-free).
+    if have_dirty:
+        crows = np.concatenate((rows_u, rows_u[dirty]))
+        cblocks = np.concatenate((blocks, victims[dirty] >> 3))
+        ckeys = crows * np.int64(st.llc_num_sets) + cblocks % st.llc_num_sets
+        sl = np.sort(ckeys)
+        if not bool((sl[1:] == sl[:-1]).any()):
+            cflags = np.concatenate(
+                (zeros_k, np.full(crows.shape[0] - k, 4, dtype=np.int64))
+            )
+            _fill_llc_rows(st, crows, cblocks, cflags, keys=ckeys)
+            return
+    else:
+        llc_keys = rows_u * np.int64(st.llc_num_sets) + blocks % st.llc_num_sets
+        sl = np.sort(llc_keys)
+        if not bool((sl[1:] == sl[:-1]).any()):
+            _fill_llc_rows(st, rows_u, blocks, zeros_k, keys=llc_keys)
+            return
+    if not ordered:
+        order = np.lexsort((blocks, readys, rows_u))
+        rows_u = rows_u[order]
+        blocks = blocks[order]
+        dirty = dirty[order]
+        victims = victims[order]
+    if have_dirty:
+        # The dict kernel writes fill k's dirty victim to the LLC right
+        # before fill k's own line: merge by interleave sequence keys
+        # (victim of fill k → 2k, fill k itself → 2k+1).
+        seq = _arange(k)
+        lorder = np.argsort(
+            np.concatenate((seq * 2 + 1, seq[dirty] * 2)), kind="stable"
+        )
+        lrows = np.concatenate((rows_u, rows_u[dirty]))[lorder]
+        lblocks = np.concatenate((blocks, victims[dirty] >> 3))[lorder]
+        lflags = np.concatenate(
+            (zeros_k, np.full(int(dirty.sum()), 4, dtype=np.int64))
+        )[lorder]
+    else:
+        lrows, lblocks, lflags = rows_u, blocks, zeros_k
+    lkeys = lrows * np.int64(st.llc_num_sets) + lblocks % st.llc_num_sets
+    llc_rank = _rank_within(lkeys)
+    for r in range(int(llc_rank.max()) + 1):
+        m = llc_rank == r
+        _fill_llc_rows(st, lrows[m], lblocks[m], lflags[m], keys=lkeys[m])
+
+
+def _lane_kernel_array(
+    trace: CompiledTrace,
+    lanes: List[LaneSpec],
+    hierarchy_config: HierarchyConfig,
+    core_config: CoreConfig,
+    params: "PrefetchBanditParams",
+    collect_logs: bool = False,
+) -> Tuple[
+    List["PrefetchRunResult"],
+    List[List[StepRecord]],
+    Dict[int, List[StepRecord]],
+]:
+    """Advance every lane through the trace in one fused pass (array path).
+
+    The memory side lives in packed ``(N, sets, ways)`` line arrays plus
+    an ``(N, mshr)`` sorted fill queue, so an L1-miss record updates all N
+    lanes in a handful of masked array ops — no per-lane Python loop on
+    the demand or prefetch-fill paths. Bit-identical lane-by-lane to
+    ``_lane_kernel_dict`` and the scalar runners. Returns
+    ``(results, checkpoint_logs, bandit_step_logs)``; the logs are only
+    populated when ``collect_logs`` (the sanitizer's capture).
+    """
+    num_lanes = len(lanes)
+    tracker_pairs, geo = _lane_tracker_geometry(lanes, params)
+    single_geo = len(tracker_pairs) == 1
+    pre = _shared_prepass(
+        trace, hierarchy_config, core_config, tracker_pairs
+    )
+    total = pre["total"]
+    blocks = pre["blocks"]
+    flags_l = pre["flags"]
+    idx_l = pre["idx"]
+    anchor_gidx = pre["anchor_gidx"]
+    boost_arr = pre["boost_arr"]
+    floor_blocks = pre["floor_blocks"]
+    gap_retire = pre["gap_retire"]
+    gap_dispatch = pre["gap_dispatch"]
+    hit = pre["hit"]
+    l1_victim = pre["l1_victim"]
+    l1_victim_dirty = pre["l1_victim_dirty"]
+    st_ok = pre["st_ok"]
+    st_stride_l = pre["st_stride"]
+    sm_ok = pre["sm_ok"]
+    sm_dir_l = pre["sm_dir"]
+    commit_cost = pre["commit_cost"]
+
+    config = hierarchy_config
+    l1_latency = config.l1_latency
+    l2_latency = config.l2_latency
+    llc_latency = config.llc_latency
+    max_inflight_prefetches = config.max_inflight_prefetches
+    mshr_capacity = config.mshr_entries
+    block_bytes = config.block_bytes
+    l2_num_sets = config.l2_size_bytes // (config.l2_ways * block_bytes)
+    llc_num_sets = config.llc_size_bytes // (config.llc_ways * block_bytes)
+    l2_ways = config.l2_ways
+    llc_ways = config.llc_ways
+    # DRAM channel constants (mirrors DRAMModel.access/writeback).
+    transfers_per_cycle = config.dram_mtps * 1e6 / (
+        config.core_frequency_ghz * 1e9
+    )
+    dram_line_cost = 8 / transfers_per_cycle
+    dram_latency = config.dram_latency
+
+    # ---- lane-resident memory state: packed (N, sets, ways) line arrays
+    # (block * 8 + flags; bit0 prefetched, bit1 used, bit2 dirty; -1 =
+    # empty way). Way positions are stable; recency lives in the
+    # parallel last-touch stamp arrays (argmin stamp = LRU victim). ----
+    # repro: dtype[l2_data: int64]
+    # repro: dtype[llc_data: int64]
+    # repro: dtype[l2_cnt: int64]
+    # repro: dtype[llc_cnt: int64]
+    # repro: dtype[l2_stamp: int64]
+    # repro: dtype[llc_stamp: int64]
+    l2_data = np.full(
+        (num_lanes, l2_num_sets, l2_ways), -1, dtype=np.int64
+    )
+    l2_cnt = np.zeros((num_lanes, l2_num_sets), dtype=np.int64)
+    l2_stamp = np.zeros((num_lanes, l2_num_sets, l2_ways), dtype=np.int64)
+    llc_data = np.full(
+        (num_lanes, llc_num_sets, llc_ways), -1, dtype=np.int64
+    )
+    llc_cnt = np.zeros((num_lanes, llc_num_sets), dtype=np.int64)
+    llc_stamp = np.zeros(
+        (num_lanes, llc_num_sets, llc_ways), dtype=np.int64
+    )
+    st = _ArrayState(
+        l2_data=l2_data,
+        l2_cnt=l2_cnt,
+        l2_stamp=l2_stamp,
+        llc_data=llc_data,
+        llc_cnt=llc_cnt,
+        llc_stamp=llc_stamp,
+        l2_flat=l2_data.reshape(-1, l2_ways),
+        l2_cnt_flat=l2_cnt.reshape(-1),
+        l2_stamp_flat=l2_stamp.reshape(-1, l2_ways),
+        llc_flat=llc_data.reshape(-1, llc_ways),
+        llc_cnt_flat=llc_cnt.reshape(-1),
+        llc_stamp_flat=llc_stamp.reshape(-1, llc_ways),
+        l2_num_sets=l2_num_sets,
+        llc_num_sets=llc_num_sets,
+        dram_line_cost=dram_line_cost,
+        dram_free=np.zeros(num_lanes),
+        ipf=np.zeros(num_lanes, dtype=np.int64),
+        writebacks=np.zeros(num_lanes, dtype=np.int64),
+        pf_wrong=np.zeros(num_lanes, dtype=np.int64),
+    )
+    fq = _FillQueue.create(num_lanes, mshr_capacity)
+    nfr = fq.nfr  # per-lane next fill-ready cycle (updated in place)
+
+    # Every lane misses L1 together, so L2 demand accesses are a single
+    # shared counter; everything else is an (N,) column.
+    l2da = 0
+    l2dh = np.zeros(num_lanes, dtype=np.int64)
+    llcda = np.zeros(num_lanes, dtype=np.int64)
+    llcdh = np.zeros(num_lanes, dtype=np.int64)
+    dram_fills = np.zeros(num_lanes, dtype=np.int64)
+    pf_issued = np.zeros(num_lanes, dtype=np.int64)
+    pf_timely = np.zeros(num_lanes, dtype=np.int64)
+    pf_late = np.zeros(num_lanes, dtype=np.int64)
+    pf_dropped = np.zeros(num_lanes, dtype=np.int64)
+
+    # ---- per-lane degree registers (EnsemblePrefetcher.set_arm collapses
+    # to three packed columns; "none" lanes stay all-zero, which emits no
+    # candidates and therefore never observes) ----
+    reg_nl = np.zeros(num_lanes, dtype=np.int64)
+    reg_st = np.zeros(num_lanes, dtype=np.int64)
+    reg_sm = np.zeros(num_lanes, dtype=np.int64)
+
+    # Arm switches are rare (one lane per bandit step) next to miss
+    # records, so degree-register reductions (max degree, next-line mask)
+    # are cached and recomputed only when a register actually changed.
+    deg_dirty = [True]
+
+    def apply_arm(i: int, arm_id: int) -> None:
+        spec = TABLE7_ARMS[arm_id]
+        reg_nl[i] = 1 if spec.next_line else 0
+        reg_st[i] = spec.stride_degree
+        reg_sm[i] = spec.stream_degree
+        deg_dirty[0] = True
+
+    bst = _BanditLanes(lanes, params, apply_arm, collect_logs)
+    has_bandit = bool(bst.lane_indices)
+    hook_l2v = bst.hook_l2
+    hook_cycv = bst.hook_cyc
+    # Scalar hook-threshold summaries: ``l2da`` is shared, so no lane can
+    # fire below the minimum armed boundary, and the cycle threshold only
+    # exists while some selection is pending. Both are refreshed on the
+    # (rare) records where a hook actually fired or applied, replacing
+    # two per-record (N,) compares with scalar tests.
+    hook_l2_min = float(hook_l2v.min()) if has_bandit else _INF
+    hook_cyc_fin = bool((hook_cycv < _INF).any()) if has_bandit else False
+    for i, lane in enumerate(lanes):
+        if lane.kind == "arm":
+            apply_arm(i, lane.arm)  # type: ignore[arg-type]
+
+    checkpoint_logs: List[List[StepRecord]] = [[] for _ in range(num_lanes)]
+    if collect_logs:
+        from repro.core_model.sanitizer import _CHECKPOINTS
+
+        cp_stride = max(1, total // _CHECKPOINTS)
+    else:
+        cp_stride = 0
+
+    if single_geo:
+        st_ok0 = st_ok[0]
+        sm_ok0 = sm_ok[0]
+        st_stride0 = st_stride_l[0]
+        sm_dir0 = sm_dir_l[0]
+
+    # ---- candidate-matrix constants: the Table 7 arm registry bounds the
+    # per-record candidate list at 1 next-line + max stride degree + max
+    # stream degree columns, so one reusable (N, width) buffer covers
+    # every record and dedup/validity become masks instead of per-group
+    # Python list building ----
+    max_st_deg = max(spec.stride_degree for spec in TABLE7_ARMS)
+    max_sm_deg = max(spec.stream_degree for spec in TABLE7_ARMS)
+    kdeg = np.arange(1, max_st_deg + 1)
+    jdeg = np.arange(1, max_sm_deg + 1)
+    cand_buf = np.empty((num_lanes, 1 + max_st_deg + max_sm_deg),
+                        dtype=np.int64)
+    jrow = _arange(max_sm_deg)[None, :]
+    # Read-only constant column (callers never mutate flag vectors).
+    zeros_n = np.zeros(num_lanes, dtype=np.int64)
+    # Single-geometry candidate cache: the per-record candidate offsets
+    # and validity masks depend only on (active degrees, stride value,
+    # stream direction, degree registers), so records sharing a tracker
+    # verdict reuse one (offsets, valid, min offset) entry; any register
+    # change clears the cache (see the deg_dirty refresh).
+    cand_cache: Dict[
+        Tuple[int, int, int, int], Tuple[np.ndarray, np.ndarray, int]
+    ] = {}
+
+    # ---- per-lane core clocks as (N,) float64 columns; rlog[t + 1] is
+    # the retire column after row t, and row 0 is a permanent zero row so
+    # the no-anchor floor gathers 0.0 (see the dict kernel) ----
+    # repro: dtype[retire: float64]
+    # repro: dtype[dispatch: float64]
+    # repro: dtype[llr: float64]
+    # repro: dtype[rlog: float64]
+    # repro: dtype[ready_arr: float64]
+    retire = np.zeros(num_lanes)
+    dispatch = np.zeros(num_lanes)
+    llr = np.zeros(num_lanes)  # last_load_ready
+    rlog = np.zeros((total + 1, num_lanes))
+
+    dispatch_cost = pre["dispatch_cost"]
+    maximum = np.maximum
+    all_rows = _arange(num_lanes)
+    lidx = all_rows[:, None]
+    num_blocks = len(floor_blocks)
+    for b in range(num_blocks):
+        blk_s = floor_blocks[b]
+        blk_e = floor_blocks[b + 1] if b + 1 < num_blocks else total
+        floors = rlog[anchor_gidx[blk_s:blk_e]]
+        floors += boost_arr[blk_s:blk_e, None]
+        for t in range(blk_s, blk_e):
+            gap_d = gap_dispatch[t]
+            if gap_d:
+                retire += gap_retire[t]
+                dispatch += gap_d
+            dispatch += dispatch_cost
+            maximum(dispatch, floors[t - blk_s], out=dispatch)
+
+            rflags = flags_l[t]
+            is_write = rflags & 1
+            if hit[t]:
+                if is_write:
+                    retire += commit_cost
+                else:
+                    if rflags & 2:  # FLAG_DEPENDENT
+                        cycle = maximum(dispatch, llr)
+                    else:
+                        cycle = dispatch
+                    ready = cycle + l1_latency
+                    llr = ready
+                    retire += commit_cost
+                    maximum(retire, ready, out=retire)
+                rlog[t + 1] = retire
+                if cp_stride and ((t + 1) % cp_stride == 0 or t + 1 == total):
+                    _lane_checkpoint(
+                        checkpoint_logs, t, idx_l[t], retire, l2da
+                    )
+                continue
+
+            # L1 miss on every lane: vectorized memory-side transcription.
+            if not is_write and rflags & 2:  # FLAG_DEPENDENT
+                cycle = maximum(dispatch, llr)
+            else:
+                cycle = dispatch
+            block = blocks[t]
+            bs2 = block % l2_num_sets
+            bsl = block % llc_num_sets
+            victim_block_t = l1_victim[t]
+            victim_wb = victim_block_t >= 0 and l1_victim_dirty[t]
+            l2da += 1
+            if hook_cyc_fin:
+                # Deferred cycle-threshold hook: a selection that came
+                # ready by the end of the previous record only swaps the
+                # degree registers (see the dict kernel's transcription
+                # note); the check uses retire as of the end of row t-1.
+                due_apply = rlog[t] >= hook_cycv
+                if due_apply.any():
+                    for i in due_apply.nonzero()[0]:
+                        bst.apply_pending(int(i))
+                    hook_cyc_fin = bool((hook_cycv < _INF).any())
+            # repro: mirror[lane-array-demand-path] begin
+            if fq.hi and (nfr <= cycle).any():
+                # Deferred MSHR drain, exactly the dict kernel's: fills
+                # that came ready during hit rows are unobservable until
+                # this probe, and the queue preserves completion order.
+                _drain_ready_fills(st, fq, cycle)
+            l2_cycle = cycle + l1_latency
+            ready_arr = np.empty(num_lanes)
+            # --- L2 probe: one shared set index, all lanes at once ---
+            set2 = l2_data[:, bs2]
+            match2 = (set2 >> 3) == block
+            l2hit = match2.any(axis=1)
+            hrows = l2hit.nonzero()[0]
+            if hrows.size:
+                pos = match2[hrows].argmax(axis=1)
+                old = set2[hrows, pos]
+                was_pf = (old & 1) != 0
+                if was_pf.any():
+                    pf_timely[hrows[was_pf]] += 1
+                # Demand touch on the packed value: set used (bit1),
+                # clear prefetched (bit0), keep block and dirty. The
+                # way stays put — only its recency stamp moves.
+                set2[hrows, pos] = (old | 2) ^ (old & 1)
+                st.ctr += 1
+                l2_stamp[hrows, bs2, pos] = st.ctr
+                l2dh[hrows] += 1
+                ready_arr[hrows] = l2_cycle[hrows] + l2_latency
+            # The thrash shape — every lane misses every level — skips
+            # each subset gather below (``*_all`` flags) and operates on
+            # whole columns instead.
+            if hrows.size:
+                mrows = (~l2hit).nonzero()[0]
+                m_all = False
+            else:
+                mrows = all_rows
+                m_all = True
+            if mrows.size:
+                if m_all:
+                    l2_ready_m = l2_cycle + l2_latency
+                else:
+                    l2_ready_m = l2_cycle[mrows] + l2_latency
+                # --- in-flight (MSHR) probe: the bucket table rules out
+                # membership with one (N,) gather; only bucket-colliding
+                # rows scan their queue slots ---
+                qf_size = 0
+                if fq.hi:
+                    qtcol = fq.tab[:, block & 255]
+                    qmay = (qtcol != 0) if m_all else (qtcol[mrows] != 0)
+                    qmr = qmay.nonzero()[0]
+                    if qmr.size:
+                        qmatch = fq.block[mrows[qmr], :fq.hi] == block
+                        qf_inner = qmatch.any(axis=1).nonzero()[0]
+                        qf = qmr[qf_inner]
+                        qf_size = qf.size
+                if qf_size:
+                    prows = mrows[qf]
+                    qpos = qmatch[qf_inner].argmax(axis=1)
+                    entry = fq.ready[prows, qpos]
+                    conv = fq.pf[prows, qpos]
+                    cv = conv.nonzero()[0]
+                    if cv.size:
+                        # Prefetch-to-demand conversion flips only the pf
+                        # flag; the (ready, block) sort key is untouched.
+                        pf_late[prows[cv]] += 1
+                        st.ipf[prows[cv]] -= 1
+                        fq.pf[prows[cv], qpos[cv]] = False
+                    ready_arr[prows] = maximum(entry, l2_ready_m[qf])
+                    qfound = np.zeros(mrows.shape[0], dtype=bool)
+                    qfound[qf] = True
+                    rem = (~qfound).nonzero()[0]
+                    r2 = mrows[rem]
+                    # Same expression as l2_ready, reused bit-for-bit.
+                    llc_cycle = l2_ready_m[rem]
+                    r_all = False
+                else:
+                    r2 = mrows
+                    llc_cycle = l2_ready_m
+                    r_all = m_all
+                if r2.size:
+                    setl = llc_data[:, bsl]
+                    if r_all:
+                        llcda += 1
+                        matchl = (setl >> 3) == block
+                    else:
+                        llcda[r2] += 1
+                        matchl = (setl[r2] >> 3) == block
+                    llc_hit = matchl.any(axis=1)
+                    lh = llc_hit.nonzero()[0]
+                    if lh.size:
+                        lrows = r2[lh]
+                        pos = matchl[lh].argmax(axis=1)
+                        # An LLC demand touch leaves the packed line
+                        # as-is; only its recency stamp moves.
+                        st.ctr += 1
+                        llc_stamp[lrows, bsl, pos] = st.ctr
+                        llcdh[lrows] += 1
+                        ready_arr[lrows] = llc_cycle[lh] + llc_latency
+                        # fill_l2(block, 0): the block just missed this
+                        # L2 set, so the fill takes the insert path.
+                        _fill_l2_rows(
+                            st, lrows,
+                            np.full(lh.size, block, dtype=np.int64),
+                            zeros_n[:lh.size],
+                        )
+                        lm = (~llc_hit).nonzero()[0]
+                        r3 = r2[lm]
+                        request = llc_cycle[lm] + llc_latency
+                        d_all = False
+                    else:
+                        r3 = r2
+                        request = llc_cycle + llc_latency
+                        d_all = r_all
+                    if r3.size:
+                        if d_all:
+                            start = maximum(request, st.dram_free)
+                            np.add(start, dram_line_cost, out=st.dram_free)
+                            ready3 = start + dram_latency
+                            ready_arr = ready3
+                            dram_fills += 1
+                            roomy = fq.length < mshr_capacity
+                        else:
+                            start = maximum(request, st.dram_free[r3])
+                            st.dram_free[r3] = start + dram_line_cost
+                            ready3 = start + dram_latency
+                            ready_arr[r3] = ready3
+                            dram_fills[r3] += 1
+                            roomy = fq.length[r3] < mshr_capacity
+                        if roomy.all():
+                            fq.insert(r3, ready3, block, False)
+                        else:
+                            rr = roomy.nonzero()[0]
+                            if rr.size:
+                                fq.insert(r3[rr], ready3[rr], block, False)
+                            # MSHR pressure: untracked immediate fill.
+                            fr = r3[(~roomy).nonzero()[0]]
+                            _fill_l2_rows(
+                                st, fr,
+                                np.full(fr.size, block, dtype=np.int64),
+                                zeros_n[:fr.size],
+                            )
+                            _fill_llc_rows(
+                                st, fr,
+                                np.full(fr.size, block, dtype=np.int64),
+                                zeros_n[:fr.size],
+                            )
+            # L1 fill is shared state (pre-pass); only a dirty victim's
+            # L2 writeback diverges per lane.
+            if victim_wb:
+                _fill_l2_wb(st, all_rows, victim_block_t)
+            # --- prefetch candidate emission: the ensemble's ordered
+            # list (next-line, then deduped stride, then stream) as fixed
+            # matrix columns. Invalid and duplicate slots become -1 pads,
+            # which the rank/budget step already skips, so dedup is a
+            # mask instead of per-group Python list building ---
+            if deg_dirty[0]:
+                nlb = reg_nl > 0
+                nl_any = bool(nlb.any())
+                ke_full = int(reg_st.max())
+                je_full = int(reg_sm.max())
+                est_m1 = np.maximum(reg_st - 1, 0)
+                est_pos = reg_st > 0
+                cand_cache.clear()
+                deg_dirty[0] = False
+            if single_geo:
+                # The shared tracker verdict is a scalar per record, so
+                # active degrees are the register maxima or nothing, and
+                # ``est``/``esm`` alias the registers wherever they are
+                # read (guarded by ``ke``/``je``, read-only).
+                ke = ke_full if st_ok0[t] else 0
+                je = je_full if sm_ok0[t] else 0
+            else:
+                st_hits = np.array(
+                    [grp[t] for grp in st_ok], dtype=np.int64
+                )[geo]
+                sm_hits = np.array(
+                    [grp[t] for grp in sm_ok], dtype=np.int64
+                )[geo]
+                est = reg_st * st_hits
+                esm = reg_sm * sm_hits
+                ke = int(est.max())
+                je = int(esm.max())
+            if ke or je or nl_any:
+                # Stride slot k duplicates next-line iff stride*k == 1
+                # and repeats an earlier stride slot iff stride == 0;
+                # stream slots additionally dedup against every stride
+                # slot the lane's degree exposes. Equality is transitive,
+                # so comparing against dropped duplicates reproduces the
+                # dict kernels' set-based dedup verdict exactly. Column
+                # count adapts to the record's max active degrees.
+                if single_geo:
+                    # Candidate *values* are block + per-column offsets
+                    # (the shared verdict stride/direction are record
+                    # scalars), so the offset vector and per-lane
+                    # validity mask are cached per (degrees, stride,
+                    # direction) and only the block-relative work runs
+                    # per record.
+                    sv = st_stride0[t]
+                    dv = sm_dir0[t]
+                    ck = (ke, je, int(sv) if ke else 0,
+                          int(dv) if je else 0)
+                    ent = cand_cache.get(ck)
+                    if ent is None:
+                        width = 1 + ke + je
+                        offs = np.empty(width, dtype=np.int64)
+                        offs[0] = 1
+                        valid = np.empty((num_lanes, width), dtype=bool)
+                        valid[:, 0] = nlb
+                        if ke:
+                            kd = kdeg[:ke]
+                            stc = sv * kd
+                            dup_st = (nlb[:, None] & (stc == 1)) | (
+                                (sv == 0) & (kd > 1)
+                            )
+                            offs[1:1 + ke] = stc
+                            valid[:, 1:1 + ke] = (
+                                kd <= reg_st[:, None]
+                            ) & ~dup_st
+                        if je:
+                            jd = jdeg[:je]
+                            smc = dv * jd
+                            dup_sm = (nlb[:, None] & (smc == 1)) | (
+                                (dv == 0) & (jd > 1)
+                            )
+                            if ke:
+                                eqc = np.cumsum(
+                                    smc[:, None] == stc[None, :], axis=1
+                                )
+                                dup_sm |= (
+                                    eqc[:, est_m1].T != 0
+                                ) & est_pos[:, None]
+                            offs[1 + ke:] = smc
+                            valid[:, 1 + ke:] = (
+                                jd <= reg_sm[:, None]
+                            ) & ~dup_sm
+                        cand_cache[ck] = ent = (offs, valid, int(offs.min()))
+                    offs, valid, offs_min = ent
+                    cv_cols = block + offs
+                    # A candidate whose block id underflows below zero
+                    # is dropped exactly like a pad (the generic path's
+                    # cand >= 0 test). The cached offset minimum turns
+                    # the per-record check into scalar arithmetic.
+                    vmask = (
+                        (valid & (cv_cols >= 0)) if block + offs_min < 0
+                        else valid
+                    )
+                    in_l2 = (
+                        (l2_data[:, cv_cols % l2_num_sets] >> 3)
+                        == cv_cols[None, :, None]
+                    ).any(axis=2)
+                    nb = vmask & ~in_l2
+                    # Every lane shares the candidate row, so ``cand``
+                    # stays 1-D; downstream gathers index it by
+                    # candidate column alone.
+                    cand = cv_cols
+                    if fq.hi:
+                        # Bucket-table prefilter with tiny (C,) index
+                        # vectors: exact negatives from one gather.
+                        maybe = (fq.tab[:, cv_cols & 255] != 0) & nb
+                        if maybe.any():
+                            qr, qc = maybe.nonzero()
+                            qhit = (
+                                fq.block[qr, :fq.hi]
+                                == cv_cols[qc][:, None]
+                            ).any(axis=1)
+                            nb[qr[qhit], qc[qhit]] = False
+                else:
+                    cand = cand_buf[:, :1 + ke + je]
+                    cand[:, 0] = np.where(nlb, block + 1, -1)
+                    sv = np.array([grp[t] for grp in st_stride_l])[geo]
+                    dv = np.array([grp[t] for grp in sm_dir_l])[geo]
+                    if ke:
+                        kd = kdeg[:ke]
+                        stc = sv[:, None] * kd
+                        dup_st = (nlb[:, None] & (stc == 1)) | (
+                            (sv == 0)[:, None] & (kd > 1)
+                        )
+                        cand[:, 1:1 + ke] = np.where(
+                            (kd <= est[:, None]) & ~dup_st, block + stc, -1
+                        )
+                    if je:
+                        jd = jdeg[:je]
+                        smc = dv[:, None] * jd
+                        dup_sm = (nlb[:, None] & (smc == 1)) | (
+                            (dv == 0)[:, None] & (jd > 1)
+                        )
+                        if ke:
+                            eqc = np.cumsum(
+                                smc[:, :, None] == stc[:, None, :], axis=2
+                            )
+                            dup_sm |= (
+                                eqc[lidx, jrow[:, :je],
+                                    np.maximum(est - 1, 0)[:, None]] != 0
+                            ) & (est > 0)[:, None]
+                        cand[:, 1 + ke:] = np.where(
+                            (jd <= esm[:, None]) & ~dup_sm, block + smc, -1
+                        )
+                    in_l2 = (
+                        (l2_data[lidx, cand % l2_num_sets] >> 3)
+                        == cand[:, :, None]
+                    ).any(axis=2)
+                    nb = (cand >= 0) & ~in_l2
+                    if fq.hi:
+                        # Bucket-table prefilter: exact negatives from an
+                        # (N, C) gather; only hits scan their queue slots.
+                        # (-1 pads gather bucket 255 but are already off
+                        # nb.)
+                        maybe = (fq.tab[lidx, cand & 255] != 0) & nb
+                        if maybe.any():
+                            qr, qc = maybe.nonzero()
+                            qhit = (
+                                fq.block[qr, :fq.hi]
+                                == cand[qr, qc][:, None]
+                            ).any(axis=1)
+                            nb[qr[qhit], qc[qhit]] = False
+                # Both drop thresholds (in-flight prefetches, MSHR
+                # occupancy) only grow as a record issues, so each
+                # lane issues a prefix of its non-blocked candidates
+                # and drops the rest — a rank-vs-budget test.
+                budget = np.minimum(
+                    max_inflight_prefetches - st.ipf,
+                    mshr_capacity - fq.length,
+                )
+                cum_nb = np.cumsum(nb, axis=1)
+                ins = nb & (cum_nb <= budget[:, None])
+                # The budget cut keeps a per-lane prefix of the
+                # non-blocked candidates, so the insert count is
+                # min(total, budget) — no second (N, C) reduction.
+                tot_nb = cum_nb[:, -1]
+                ins_n = np.minimum(tot_nb, budget)
+                pf_dropped += tot_nb - ins_n
+                pf_issued += ins_n
+                st.ipf += ins_n
+                if ins_n.any():
+                    # The LLC probe only matters for issued prefetches:
+                    # gather (K, ways) for the ins rows instead of
+                    # scanning (N, C, ways).
+                    ir, ic = ins.nonzero()
+                    cb = cand[ic] if cand.ndim == 1 else cand[ir, ic]
+                    llc_in = (
+                        (llc_data[ir, cb % llc_num_sets] >> 3)
+                        == cb[:, None]
+                    ).any(axis=1)
+                    request = (cycle + l2_latency) + llc_latency
+                    dram_c = np.zeros(ins.shape, dtype=bool)
+                    dram_c[ir, ic] = ~llc_in
+                    nd = dram_c.sum(axis=1)
+                    maxrank = int(nd.max())
+                    if maxrank:
+                        # A lane's k-th DRAM prefetch starts exactly one
+                        # line-transfer after its (k-1)-th: once the
+                        # first start clears max(request, dram_free),
+                        # every later max() resolves to the channel-free
+                        # side, so the chain is iterative adds (kept
+                        # iterative for float bit-identity with the
+                        # scalar path).
+                        starts = np.empty((num_lanes, maxrank))
+                        col = maximum(request, st.dram_free)
+                        starts[:, 0] = col
+                        for rr in range(1, maxrank):
+                            col = col + dram_line_cost
+                            starts[:, rr] = col
+                        # Off-candidate slots gather a wrapped column
+                        # (cumsum - 1 == -1 before the first DRAM
+                        # prefetch); the where() masks them out.
+                        drank = np.cumsum(dram_c, axis=1) - 1
+                        ready_mat = np.where(
+                            dram_c,
+                            starts[lidx, drank] + dram_latency,
+                            request[:, None],
+                        )
+                        has = (nd > 0).nonzero()[0]
+                        st.dram_free[has] = (
+                            starts[has, nd[has] - 1] + dram_line_cost
+                        )
+                    else:
+                        # No DRAM prefetch this record: every insert of a
+                        # lane shares its request cycle, kept 1-D.
+                        ready_mat = request
+                    fq.insert_many(ready_mat, cand, ins, cum_nb, ins_n)
+            # repro: mirror[lane-array-demand-path] end
+            if is_write:
+                retire += commit_cost
+            else:
+                retire = maximum(ready_arr, retire + commit_cost)
+                llr = ready_arr
+            rlog[t + 1] = retire
+
+            # End-of-record hook thresholds, bandit lanes only: the
+            # retire column already holds exactly the scalar hook's
+            # value, so the compare is bit-exact. The scalar minimum /
+            # pending-flag guards skip the vector compares on the many
+            # records where no lane can possibly fire.
+            if has_bandit and (l2da >= hook_l2_min or hook_cyc_fin):
+                if hook_cyc_fin:
+                    fire = (l2da >= hook_l2v) | (retire >= hook_cycv)
+                else:
+                    fire = hook_l2v <= l2da
+                if fire.any():
+                    retire_l = retire.tolist()
+                    instructions = idx_l[t]
+                    for i in fire.nonzero()[0]:
+                        ii = int(i)
+                        bst.fire(ii, retire_l[ii], instructions, l2da)
+                    hook_l2_min = float(hook_l2v.min())
+                    hook_cyc_fin = bool((hook_cycv < _INF).any())
+
+            if cp_stride and ((t + 1) % cp_stride == 0 or t + 1 == total):
+                _lane_checkpoint(checkpoint_logs, t, idx_l[t], retire, l2da)
+
+    # ------------------------------------------------------------- episode end
+    total_instructions = idx_l[-1] if total else 0
+    retire_final = retire.tolist()
+    for i in bst.lane_indices:
+        # Trailing partial step (run_bandit_prefetch's flush).
+        bst.flush(i, total_instructions, retire_final[i], l2da)
+    # hierarchy.finalize(): flush in-flight fills in (ready, block)
+    # order, then count never-used prefetched L2 lines as wrong (-1 empty
+    # ways give (line & 3) == 3 and never match).
+    _drain_ready_fills(st, fq, None)
+    st.pf_wrong += ((l2_data & 3) == 1).sum(axis=(1, 2))
+
+    results = _assemble_results(
+        lanes, pre["loads"], pre["stores"], total, total_instructions,
+        retire_final, l2da, l2dh, llcda, llcdh, dram_fills, st.writebacks,
+        pf_issued, pf_timely, pf_late, st.pf_wrong, pf_dropped,
+        bst.algorithms, bst.arm_traces,
+    )
+    return results, checkpoint_logs, bst.step_logs

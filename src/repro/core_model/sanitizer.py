@@ -174,6 +174,7 @@ def verify_lane_batch(
     hierarchy_config: object,
     core_config: object,
     params: object,
+    kernel_mode: str = "array",
 ) -> None:
     """Prove every batched-kernel lane equals the object path, lane by lane.
 
@@ -188,6 +189,9 @@ def verify_lane_batch(
     - for bandit lanes, the per-step arm choices and DUCB estimator state
       (reward estimates and selection counts, bit for bit),
     - the final hierarchy stats, the result scalars, and the arm trace.
+
+    ``kernel_mode`` names the kernel variant under test (``"array"`` or
+    ``"dict"``) so a divergence report says which implementation failed.
 
     Raises :class:`SanitizeDivergence` naming the lane, step and field at
     the first disagreement.
@@ -207,7 +211,7 @@ def verify_lane_batch(
 
     for lane_index, lane in enumerate(lanes):
         kind = lane.kind  # type: ignore[attr-defined]
-        context = f"lane_kernel[lane={lane_index}:{kind}]"
+        context = f"lane_kernel[{kernel_mode}][lane={lane_index}:{kind}]"
         bandit = None
         algorithm = None
         ensemble = None

@@ -638,7 +638,10 @@ def fig08_replication_sweep(
     For every workload, the full 11-arm static fan-out plus ``replicates``
     independently seeded bandit episodes replay as *one* batched lane task
     (:func:`repro.experiments.runner.lane_batch_task`): a single kernel
-    invocation instead of ``11 + replicates`` pool tasks. Returns, per
+    invocation instead of ``11 + replicates`` pool tasks. Wide replication
+    sweeps (``11 + replicates >= 128`` lanes) route to the array-resident
+    kernel, narrow ones to the dict kernel — bit-identical either way, with
+    the chosen kernel recorded per task in the run manifest. Returns, per
     workload, the best static arm and the bandit's normalized-IPC spread
     across seeds, plus an ``"all"`` entry with cross-workload gmeans.
     """

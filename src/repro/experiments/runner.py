@@ -94,7 +94,9 @@ from repro.workloads.suites import spec_by_name
 #: changed: result dataclass layout, replay fidelity fixes, ...).
 #: v5: defaulted parameters are folded into the fingerprint (see
 #: :func:`task_key`), so keys of tasks that omitted kwargs changed.
-CACHE_SCHEMA_VERSION = 5
+#: v6: lane-batch payloads grew ``lane_kernel`` / ``lane_fallback``
+#: telemetry fields, so cached lane payloads from v5 lack them.
+CACHE_SCHEMA_VERSION = 6
 
 
 # ============================================================== cache keys
@@ -283,6 +285,13 @@ class TaskRecord:
     cache_hit: bool
     #: Trace records the task replayed (0 when unknown or cache-served).
     records: int = 0
+    #: Resolved lane kernel that produced the payload ("array", "dict",
+    #: "scalar"); ``None`` for non-lane tasks. Cache hits report the kernel
+    #: that computed the stored result (all kernels are bit-identical).
+    lane_kernel: Optional[str] = None
+    #: Why the batch fell back to the scalar path (``None`` when it did not
+    #: fall back, or for non-lane tasks).
+    lane_fallback: Optional[str] = None
 
 
 class RunTelemetry:
@@ -302,8 +311,13 @@ class RunTelemetry:
         seconds: float,
         cache_hit: bool,
         records: int = 0,
+        lane_kernel: Optional[str] = None,
+        lane_fallback: Optional[str] = None,
     ) -> None:
-        self.tasks.append(TaskRecord(label, key, seconds, cache_hit, records))
+        self.tasks.append(TaskRecord(
+            label, key, seconds, cache_hit, records,
+            lane_kernel=lane_kernel, lane_fallback=lane_fallback,
+        ))
 
     def add_phase(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` into the named phase bucket."""
@@ -372,7 +386,7 @@ class RunTelemetry:
         and the replayed-record counts.
         """
         body: Dict[str, Any] = {
-            "manifest_version": 2,
+            "manifest_version": 3,
             "cache_schema_version": CACHE_SCHEMA_VERSION,
             "totals": {
                 "tasks": len(self.tasks),
@@ -390,20 +404,27 @@ class RunTelemetry:
                 name: 0.0 if deterministic else round(seconds, 6)
                 for name, seconds in sorted(self.phases.items())
             },
-            "tasks": [
-                {
-                    "label": record.label,
-                    "key": record.key,
-                    "seconds": 0.0 if deterministic
-                    else round(record.seconds, 6),
-                    "cache_hit": record.cache_hit,
-                    "records": record.records,
-                }
-                for record in self.tasks
-            ],
+            "tasks": [self._task_entry(record, deterministic)
+                      for record in self.tasks],
         }
         body.update(extra)
         return body
+
+    @staticmethod
+    def _task_entry(record: TaskRecord, deterministic: bool) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "label": record.label,
+            "key": record.key,
+            "seconds": 0.0 if deterministic else round(record.seconds, 6),
+            "cache_hit": record.cache_hit,
+            "records": record.records,
+        }
+        # Lane-batch disposition: present only for lane tasks, so scalar
+        # task entries keep their v2 shape.
+        if record.lane_kernel is not None:
+            entry["lane_kernel"] = record.lane_kernel
+            entry["lane_fallback"] = record.lane_fallback
+        return entry
 
     def write_manifest(
         self, path: str | Path, *, deterministic: bool = False, **extra: Any
@@ -463,6 +484,16 @@ def _execute_timed(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Tuple[Any,
     return value, time.perf_counter() - start
 
 
+def _lane_disposition(value: Any) -> Dict[str, Optional[str]]:
+    """Lane-batch telemetry fields carried in a task payload, if any."""
+    if isinstance(value, dict) and "lane_kernel" in value:
+        return {
+            "lane_kernel": value["lane_kernel"],
+            "lane_fallback": value.get("lane_fallback"),
+        }
+    return {}
+
+
 def run_parallel(
     tasks: Sequence[Task],
     jobs: Optional[int] = None,
@@ -493,7 +524,10 @@ def run_parallel(
             hit, value = cache.get(key)
             if hit:
                 results[index] = value
-                telemetry.record(task.label, key, 0.0, cache_hit=True)
+                telemetry.record(
+                    task.label, key, 0.0, cache_hit=True,
+                    **_lane_disposition(value),
+                )
                 continue
         pending.append((index, key, task))
 
@@ -509,6 +543,7 @@ def run_parallel(
         telemetry.record(
             task.label, key or "", seconds, cache_hit=False,
             records=replayed if isinstance(replayed, int) else 0,
+            **_lane_disposition(value),
         )
 
     if not pending:
@@ -751,16 +786,33 @@ def lane_batch_task(
     Every lane replays the same trace, so one kernel invocation replaces
     ``len(lanes)`` scalar pool tasks. The payload carries the per-lane
     results in lane order plus the total replayed-record count for the
-    telemetry (each lane is a full replay of the trace).
+    telemetry (each lane is a full replay of the trace), and the batch
+    disposition: which kernel produced the results (``lane_kernel``) and,
+    when the batch routed around the kernels, why (``lane_fallback``).
+    Every kernel is bit-identical, so the disposition is observability
+    metadata — it never changes the results — and is safe to cache.
     """
-    from repro.core_model.lane_kernel import run_lane_batch
+    from repro.core_model.lane_kernel import (
+        lane_batch_fallback_reason,
+        resolve_lane_kernel_mode,
+        run_lane_batch,
+    )
 
     trace = compiled_trace_for(spec_name, trace_length, seed=seed,
                                gap_scale=gap_scale)
+    fallback = lane_batch_fallback_reason(trace, lanes, params)
+    if fallback is None and core_config.rob_size <= 0:
+        fallback = "non-positive rob_size"
+    kernel = "scalar" if fallback else resolve_lane_kernel_mode(len(lanes))
     results = run_lane_batch(
         trace, lanes, hierarchy_config, core_config, params
     )
-    return {"results": results, "records": len(trace) * len(lanes)}
+    return {
+        "results": results,
+        "records": len(trace) * len(lanes),
+        "lane_kernel": kernel,
+        "lane_fallback": fallback,
+    }
 
 
 # ==================================================== best-static-arm fanout

@@ -12,6 +12,12 @@ Two small tools that keep the hot-path replay engine honest:
     committed baseline (``BENCH_PR3.json``-style) and fail when any shared
     benchmark regressed by more than ``--max-regression`` (default 20%).
     CI runs this after the benchmark smoke job.
+
+``python -m repro.perf --history BENCH_*.json``
+    Print the performance trajectory across the committed baselines, in
+    filename order: every benchmark's mean (with its spread when the
+    baseline recorded more than one round) plus each file's same-tree
+    speedup summary.
 """
 
 from __future__ import annotations
@@ -218,22 +224,70 @@ def compare_benchmarks(
     return ok, lines
 
 
+def history_report(paths: List[str | Path]) -> List[str]:
+    """The committed-baseline trajectory, one block per file.
+
+    Files are ordered by name (``BENCH_PR3.json`` < ``BENCH_PR6.json`` <
+    ``BENCH_PR8.json``), so the blocks read as the optimisation history of
+    the repo. Each block lists the file's same-tree speedup summary (the
+    ``comparison`` object the committed baselines carry) and every
+    benchmark's mean — with its spread when the baseline recorded more
+    than one round, and an explicit variance caveat when it did not.
+    """
+    lines: List[str] = []
+    for path in sorted((Path(p) for p in paths), key=lambda p: p.name):
+        with open(path) as handle:
+            payload = json.load(handle)
+        lines.append(f"{path.name}:")
+        comparison = payload.get("comparison") or {}
+        subject = comparison.get("benchmark")
+        if subject:
+            lines.append(f"  subject: {subject}")
+        speedup = comparison.get("speedup")
+        if speedup is not None:
+            lines.append(f"  same-tree speedup: {speedup:g}x")
+        for name, stats in sorted(load_benchmark_stats(path).items()):
+            if stats.single_round:
+                spread = "  (single round, no variance estimate)"
+            else:
+                stddev = 0.0 if stats.stddev is None else stats.stddev
+                spread = f" ±{stddev:.4f}s over {stats.rounds} rounds"
+            lines.append(f"  {name}: mean {stats.mean:.4f}s{spread}")
+    return lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf",
         description="Compare pytest-benchmark JSON results against a "
-        "committed baseline and fail on regressions.",
+        "committed baseline and fail on regressions, or print the "
+        "trajectory across committed baselines (--history).",
     )
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="committed baseline benchmark JSON")
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current",
                         help="freshly produced benchmark JSON")
     parser.add_argument(
         "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
         help="allowed fractional slowdown before failing "
         "(default %(default)s = 20%%)",
     )
+    parser.add_argument(
+        "--history", nargs="+", metavar="BENCH_JSON",
+        help="print the mean/stddev/speedup trajectory across the given "
+        "committed baselines (filename order) instead of gating",
+    )
     args = parser.parse_args(argv)
+    if args.history:
+        if args.baseline or args.current:
+            parser.error("--history is mutually exclusive with "
+                         "--baseline/--current")
+        for line in history_report(args.history):
+            print(line)
+        return 0
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required "
+                     "(or use --history)")
     ok, lines = compare_benchmarks(
         args.baseline, args.current, max_regression=args.max_regression
     )

@@ -48,6 +48,20 @@ class TestParser:
         assert scale.step_epochs == 3
         assert scale.step_epochs_rr == 5
 
+    def test_workload_names_override_prefix(self):
+        from repro.cli import _tune_selection
+        from repro.workloads import tune_specs
+
+        args = build_parser().parse_args(
+            ["fig08rep", "--workload-names", "milc06, cactus06", "--workloads", "2"]
+        )
+        names = [spec.name for spec in _tune_selection(args)]
+        assert names == ["milc06", "cactus06"]
+
+        args = build_parser().parse_args(["fig08rep", "--workloads", "2"])
+        prefix = [spec.name for spec in _tune_selection(args)]
+        assert prefix == [spec.name for spec in tune_specs()[:2]]
+
     def test_execution_flags_exposed(self):
         args = build_parser().parse_args(
             ["fig08", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]

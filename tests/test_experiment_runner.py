@@ -251,7 +251,7 @@ class TestTelemetryManifest:
         path = telemetry.write_manifest(tmp_path / "run.manifest.json",
                                         command="fig08")
         body = json.loads(path.read_text())
-        assert body["manifest_version"] == 2
+        assert body["manifest_version"] == 3
         assert body["cache_schema_version"] == CACHE_SCHEMA_VERSION
         assert body["command"] == "fig08"
         assert body["totals"]["tasks"] == 2
@@ -262,6 +262,24 @@ class TestTelemetryManifest:
         assert body["phases"] == {"replay": 0.5}
         assert [t["label"] for t in body["tasks"]] == ["a", "b"]
         assert [t["records"] for t in body["tasks"]] == [1000, 0]
+        # Non-lane tasks keep the v2 entry shape.
+        assert all("lane_kernel" not in t for t in body["tasks"])
+
+    def test_lane_disposition_in_manifest(self, tmp_path):
+        telemetry = RunTelemetry()
+        telemetry.record("w:lanes", "k1", 1.0, cache_hit=False,
+                         records=100, lane_kernel="array")
+        telemetry.record("w2:lanes", "k2", 1.0, cache_hit=False,
+                         records=100, lane_kernel="scalar",
+                         lane_fallback="trace is not a CompiledTrace")
+        telemetry.record("plain", "k3", 1.0, cache_hit=False)
+        body = telemetry.manifest()
+        lane, fell, plain = body["tasks"]
+        assert lane["lane_kernel"] == "array"
+        assert lane["lane_fallback"] is None
+        assert fell["lane_kernel"] == "scalar"
+        assert "CompiledTrace" in fell["lane_fallback"]
+        assert "lane_kernel" not in plain
 
     def test_deterministic_manifests_are_byte_identical(self, tmp_path):
         """Two pooled runs of the same figure must write the same bytes."""
@@ -296,6 +314,29 @@ class TestTelemetryManifest:
 
 class TestExperimentTasks:
     TRACE_LENGTH = 1_500
+
+    def test_lane_batch_disposition_reaches_telemetry(self, tmp_path):
+        """The lane task reports its kernel and fallback on miss AND hit."""
+        from repro.core_model.lane_kernel import LaneSpec
+        from repro.experiments.runner import lane_batch_task
+
+        task = Task(
+            lane_batch_task,
+            dict(spec_name="mcf06", trace_length=self.TRACE_LENGTH,
+                 lanes=(LaneSpec("arm", arm=0), LaneSpec("arm", arm=1))),
+            label="mcf06:lanes",
+        )
+        cache = ResultCache(tmp_path)
+        for expect_hit in (False, True):
+            telemetry = RunTelemetry()
+            payload = run_parallel([task], jobs=1, cache=cache,
+                                   telemetry=telemetry)[0]
+            assert payload["lane_kernel"] == "dict"  # narrow batch -> auto
+            assert payload["lane_fallback"] is None
+            (record,) = telemetry.tasks
+            assert record.cache_hit is expect_hit
+            assert record.lane_kernel == "dict"
+            assert record.lane_fallback is None
 
     def test_parallel_best_static_arm_matches_serial(self):
         trace = spec_by_name("mcf06").trace(self.TRACE_LENGTH, seed=0)

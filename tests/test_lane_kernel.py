@@ -5,10 +5,14 @@ import dataclasses
 import pytest
 
 from repro.core_model.lane_kernel import (
+    AUTO_ARRAY_MIN_LANES,
     LANE_KERNEL_ENV,
     LaneSpec,
     lane_batch_eligible,
+    lane_batch_fallback_reason,
     lane_kernel_enabled,
+    lane_kernel_mode,
+    resolve_lane_kernel_mode,
     run_lane_batch,
 )
 from repro.core_model.sanitizer import SANITIZE_ENV, SanitizeDivergence
@@ -60,19 +64,38 @@ def _scalar_reference(trace, lane, hierarchy_config):
 
 
 class TestBitIdentity:
+    @pytest.mark.parametrize("mode", ["array", "dict"])
     @pytest.mark.parametrize(
         "hierarchy_config", [BASELINE_HIERARCHY_CONFIG, ALT_HIERARCHY_CONFIG],
         ids=["baseline", "alt"],
     )
     def test_matches_scalar_runners_lane_by_lane(self, trace, monkeypatch,
-                                                 hierarchy_config):
-        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+                                                 hierarchy_config, mode):
+        monkeypatch.setenv(LANE_KERNEL_ENV, mode)
         assert lane_batch_eligible(trace, LANES, PARAMS)
         batch = run_lane_batch(
             trace, LANES, hierarchy_config, CORE_CONFIG_TABLE4, PARAMS
         )
         for lane, got in zip(LANES, batch):
             assert got == _scalar_reference(trace, lane, hierarchy_config)
+
+    def test_mixed_tracker_geometry_matches_scalar(self, trace, monkeypatch):
+        """Per-lane tracker geometry is an array column, not a restriction."""
+        monkeypatch.setenv(LANE_KERNEL_ENV, "array")
+        params = dataclasses.replace(PARAMS, num_stride_trackers=2)
+        lanes = [LaneSpec("arm", arm=3), LaneSpec("bandit", seed=0)]
+        assert lane_batch_eligible(trace, lanes, params)
+        batch = run_lane_batch(
+            trace, lanes, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            params,
+        )
+        assert batch[0] == run_fixed_arm(
+            trace, 3, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4
+        )
+        assert batch[1] == run_bandit_prefetch(
+            trace, hierarchy_config=BASELINE_HIERARCHY_CONFIG,
+            core_config=CORE_CONFIG_TABLE4, params=params, seed=0,
+        )
 
     def test_disabled_env_falls_back_to_identical_results(self, trace,
                                                           monkeypatch):
@@ -88,6 +111,43 @@ class TestBitIdentity:
             PARAMS,
         )
         assert kernel == scalar
+
+    def test_dict_kernel_matches_array_kernel(self, trace, monkeypatch):
+        """The narrow-batch dict kernel stays a bit-exact oracle."""
+        monkeypatch.setenv(LANE_KERNEL_ENV, "array")
+        assert lane_kernel_mode() == "array"
+        array_batch = run_lane_batch(
+            trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        monkeypatch.setenv(LANE_KERNEL_ENV, "dict")
+        assert lane_kernel_mode() == "dict"
+        dict_batch = run_lane_batch(
+            trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
+            PARAMS,
+        )
+        assert array_batch == dict_batch
+
+
+class TestAutoRouting:
+    def test_default_mode_is_auto(self, monkeypatch):
+        monkeypatch.delenv(LANE_KERNEL_ENV, raising=False)
+        assert lane_kernel_mode() == "auto"
+        assert lane_kernel_enabled()
+
+    def test_auto_resolves_by_batch_width(self, monkeypatch):
+        monkeypatch.delenv(LANE_KERNEL_ENV, raising=False)
+        assert resolve_lane_kernel_mode(len(LANES)) == "dict"
+        assert resolve_lane_kernel_mode(AUTO_ARRAY_MIN_LANES - 1) == "dict"
+        assert resolve_lane_kernel_mode(AUTO_ARRAY_MIN_LANES) == "array"
+
+    def test_explicit_mode_ignores_batch_width(self, monkeypatch):
+        monkeypatch.setenv(LANE_KERNEL_ENV, "array")
+        assert resolve_lane_kernel_mode(1) == "array"
+        monkeypatch.setenv(LANE_KERNEL_ENV, "dict")
+        assert resolve_lane_kernel_mode(10_000) == "dict"
+        monkeypatch.setenv(LANE_KERNEL_ENV, "0")
+        assert resolve_lane_kernel_mode(10_000) == "scalar"
 
 
 class TestEligibilityRouting:
@@ -105,10 +165,21 @@ class TestEligibilityRouting:
             trace, [LaneSpec("bandit", seed=0)], params
         )
 
-    def test_mixed_tracker_geometry_is_ineligible(self, trace):
-        params = dataclasses.replace(PARAMS, num_stride_trackers=2)
-        lanes = [LaneSpec("arm", arm=0), LaneSpec("bandit", seed=0)]
-        assert not lane_batch_eligible(trace, lanes, params)
+    def test_fallback_reason_names_the_cause(self, trace):
+        assert lane_batch_fallback_reason(trace, LANES, PARAMS) is None
+        reason = lane_batch_fallback_reason(
+            trace.to_records(), LANES, PARAMS
+        )
+        assert reason == "trace is not a CompiledTrace"
+        reason = lane_batch_fallback_reason(
+            trace, [LaneSpec("arm", arm=99)], PARAMS
+        )
+        assert "out of range" in reason
+        params = dataclasses.replace(PARAMS, step_l2_accesses=0)
+        reason = lane_batch_fallback_reason(
+            trace, [LaneSpec("bandit", seed=0)], params
+        )
+        assert "step_l2_accesses" in reason
 
     def test_ineligible_batch_still_returns_scalar_results(self, trace,
                                                            monkeypatch):
@@ -135,7 +206,7 @@ class TestEligibilityRouting:
 
 class TestSanitizedBatch:
     def test_sanitized_batch_matches_plain(self, trace, monkeypatch):
-        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        monkeypatch.setenv(LANE_KERNEL_ENV, "array")
         plain = run_lane_batch(
             trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,
             PARAMS,
@@ -151,16 +222,16 @@ class TestSanitizedBatch:
         """A perturbed lane kernel must be caught lane-by-lane."""
         import repro.core_model.lane_kernel as lk
 
-        monkeypatch.setenv(LANE_KERNEL_ENV, "1")
+        monkeypatch.setenv(LANE_KERNEL_ENV, "array")
         monkeypatch.setenv(SANITIZE_ENV, "1")
-        real_kernel = lk._lane_kernel
+        real_kernel = lk._lane_kernel_array
 
         def skewed(*args, **kwargs):
             results, checkpoints, step_logs = real_kernel(*args, **kwargs)
             bad = dataclasses.replace(results[-1], cycles=results[-1].cycles + 1.0)
             return results[:-1] + [bad], checkpoints, step_logs
 
-        monkeypatch.setattr(lk, "_lane_kernel", skewed)
+        monkeypatch.setattr(lk, "_lane_kernel_array", skewed)
         with pytest.raises(SanitizeDivergence):
             run_lane_batch(
                 trace, LANES, BASELINE_HIERARCHY_CONFIG, CORE_CONFIG_TABLE4,

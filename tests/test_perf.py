@@ -6,6 +6,7 @@ import pytest
 
 from repro.perf import (
     compare_benchmarks,
+    history_report,
     load_benchmark_stats,
     main,
     profile_call,
@@ -159,6 +160,58 @@ class TestBenchmarkStats:
         ok, lines = compare_benchmarks(base, cur)
         assert not ok
         assert any("REGRESSION" in line for line in lines)
+
+
+class TestHistoryReport:
+    def _trajectory(self, tmp_path):
+        early = tmp_path / "BENCH_PR3.json"
+        early.write_text(json.dumps({
+            "comparison": {"benchmark": "fig08 sweep", "speedup": 2.1},
+            "benchmarks": [
+                {"name": "fig08", "stats": {"mean": 10.0}},
+            ],
+        }))
+        late = tmp_path / "BENCH_PR8.json"
+        late.write_text(json.dumps({
+            "comparison": {"speedup": 3.0},
+            "benchmarks": [
+                {"name": "thrash",
+                 "stats": {"mean": 4.0, "stddev": 0.1, "rounds": 3}},
+            ],
+        }))
+        return early, late
+
+    def test_blocks_in_filename_order(self, tmp_path):
+        early, late = self._trajectory(tmp_path)
+        lines = history_report([str(late), str(early)])  # reversed on input
+        assert lines[0].startswith("BENCH_PR3.json")
+        assert any(line.startswith("BENCH_PR8.json") for line in lines)
+        assert lines.index("BENCH_PR3.json:") < lines.index("BENCH_PR8.json:")
+
+    def test_reports_speedup_spread_and_variance_caveat(self, tmp_path):
+        early, late = self._trajectory(tmp_path)
+        report = "\n".join(history_report([early, late]))
+        assert "same-tree speedup: 2.1x" in report
+        assert "same-tree speedup: 3x" in report
+        assert "subject: fig08 sweep" in report
+        assert "±0.1000s over 3 rounds" in report
+        assert "single round, no variance estimate" in report
+
+    def test_cli_history_mode(self, tmp_path, capsys):
+        early, late = self._trajectory(tmp_path)
+        assert main(["--history", str(early), str(late)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_PR3.json" in out and "BENCH_PR8.json" in out
+
+    def test_cli_history_excludes_gate_flags(self, tmp_path):
+        early, late = self._trajectory(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["--history", str(early), "--baseline", str(late),
+                  "--current", str(late)])
+
+    def test_cli_requires_baseline_and_current_without_history(self):
+        with pytest.raises(SystemExit):
+            main([])
 
 
 class TestProfileCall:
