@@ -58,14 +58,38 @@ built from all scanned files at once:
   cross-family stores, mixed-dtype promotion, and masks or shifts outside
   the declared bit budget.
 
+The vectorization-soundness rules (:mod:`repro.analysis.array_rules`,
+backed by the index-provenance dataflow in
+:mod:`repro.analysis.index_flow`) guard the numpy lane kernels against
+the aliasing hazards that fancy indexing makes silent:
+
+- **R14 scatter aliasing** — any fancy-indexed read-modify-write
+  (``arr[idx] += rhs`` or its spelled-out form) where ``idx`` cannot be
+  proven duplicate-free must use the unbuffered ``np.<ufunc>.at`` or carry
+  a ``# repro: unique-index[reason]`` waiver; the proof follows the index
+  through assignments, helper returns and call sites back to sources like
+  ``arange``/``flatnonzero``/``nonzero()[0]`` or boolean masks.
+- **R15 view aliasing** — in-place updates whose right-hand side reads the
+  same base array through an overlapping slice view; the read must be
+  hoisted into an explicit copy so evaluation order is visible.
+- **R16 lane coupling** — inside R10 mirror-tagged regions, cross-lane
+  reductions (``sum``/``any``/``max`` … without a lane-preserving axis)
+  must not flow into per-lane state; genuinely shared scalars are
+  acknowledged with ``# repro: shared-scalar[name]``.
+- **R17 mirror coverage** — every ``def`` in a ``*_kernel.py`` module that
+  mutates non-local lane/state columns must sit inside some R10 mirror
+  tag, or explain itself with ``# repro: mirror-exempt[reason]``.
+
 Findings can be suppressed per line with ``# repro: ignore`` or
 ``# repro: ignore[R1,R4]``, or burned down incrementally through a checked
 in baseline file (``--baseline``; prune dead entries with ``--prune``).
 
 Run it as ``python -m repro.analysis src/`` (add ``--jobs N`` to fan the
-per-module pass out over a process pool).
+per-module pass out over a process pool; ``--format json`` emits a
+machine-readable report for CI artifacts).
 """
 
+from repro.analysis.array_rules import ARRAY_RULES
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.core import Finding, ParsedModule, default_rules, run_analysis
 from repro.analysis.project_rules import PROJECT_RULES, ProjectRule
@@ -74,6 +98,7 @@ from repro.analysis.symbols import Project, build_project
 
 __all__ = [
     "ALL_RULES",
+    "ARRAY_RULES",
     "Finding",
     "ParsedModule",
     "PROJECT_RULES",

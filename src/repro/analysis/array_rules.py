@@ -1,0 +1,788 @@
+"""Vectorization-soundness rules R14–R17 for the numpy kernels.
+
+The batched kernels (:mod:`repro.core_model.lane_kernel`,
+:mod:`repro.core_model.smt_kernel`, :mod:`repro.core_model.replay_kernel`,
+:mod:`repro.workloads.compiled`) buy their speed with numpy-wide state
+updates whose classic failure modes are *silent*: a fancy-index ``+=``
+collapses duplicate positions, an in-place update can read the array it
+is writing through an overlapping view, and a whole-batch reduction can
+couple lanes that the scalar reference path treats independently. The
+runtime sanitizer only catches these on inputs a test happens to replay;
+these rules prove them absent statically:
+
+- **R14 scatter-aliasing** — ``arr[idx] op= rhs`` (or the spelled-out
+  ``arr[idx] = arr[idx] op rhs``) where ``idx`` is not provably
+  duplicate-free under the index-provenance dataflow
+  (:mod:`repro.analysis.index_flow`). Use ``np.<ufunc>.at`` or annotate
+  ``# repro: unique-index[reason]``.
+- **R15 view-aliasing** — an in-place update (``op=``, a ufunc ``out=``,
+  or a slice store) whose RHS reads the same base array through a
+  different basic-slice view that cannot be proven disjoint. Hoist the
+  read into an explicit copy.
+- **R16 lane-coupling** — inside R10 mirror-tagged code, a cross-lane
+  reduction (``sum``/``any``/``max``/... with no axis, or an axis
+  including the lane axis 0) flowing into mutated state. Documented
+  shared scalars are allowlisted or annotated
+  ``# repro: shared-scalar[name]``.
+- **R17 mirror-coverage** — a ``def`` in a ``*_kernel.py`` module that
+  mutates state it did not create while no ``# repro: mirror[...]`` tag
+  covers it: a fast path outside twin-tracking. Acknowledge deliberate
+  shared engines with ``# repro: mirror-exempt[reason]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.core import Finding, ParsedModule
+from repro.analysis.index_flow import (
+    classify_index_expr,
+    comment_block_match,
+    is_duplicate_free,
+    unique_index_waiver,
+)
+from repro.analysis.mirrors import _MIRROR_RE
+from repro.analysis.project_rules import ProjectRule
+from repro.analysis.symbols import FunctionInfo, Project, iter_scopes
+
+#: File basenames treated as kernel modules (plus any ``*_kernel.py``).
+_KERNEL_BASENAMES = ("compiled.py",)
+
+#: ``# repro: shared-scalar[name]`` — R16 waiver for documented scalars.
+SHARED_SCALAR_RE = re.compile(r"#\s*repro:\s*shared-scalar\[([^\]]+)\]")
+
+#: ``# repro: mirror-exempt[reason]`` — R17 acknowledgement on a def.
+MIRROR_EXEMPT_RE = re.compile(r"#\s*repro:\s*mirror-exempt\[([^\]]+)\]")
+
+#: Shared counters the scalar path also accumulates across lanes.
+DEFAULT_SHARED_SCALARS = frozenset({"l2_demand_accesses"})
+
+#: Reduction callables that collapse the lane axis when axis is absent
+#: or includes 0.
+_REDUCTIONS = frozenset({
+    "sum", "any", "all", "max", "min", "argmax", "argmin", "mean",
+    "prod", "median", "average", "count_nonzero", "cumsum", "cumprod",
+})
+
+
+def _basename(path: str) -> str:
+    return path.rsplit("/", 1)[-1]
+
+
+def is_kernel_path(path: str) -> bool:
+    """Is this display path one of the audited kernel modules?"""
+    name = _basename(path)
+    return name.endswith("_kernel.py") or name in _KERNEL_BASENAMES
+
+
+def _kernel_modules(
+    project: Project,
+) -> List[Tuple[str, ParsedModule]]:
+    out = [
+        (module_name, module)
+        for module_name, module in sorted(project.modules.items())
+        if is_kernel_path(module.path)
+    ]
+    return out
+
+
+def _scope_spans(
+    project: Project, module_name: str, module: ParsedModule
+) -> List[Tuple[int, int, FunctionInfo]]:
+    """(start, end, info) for every def in the module, by line span."""
+    spans: List[Tuple[int, int, FunctionInfo]] = []
+    for node, qname, _cls in iter_scopes(module_name, module.tree):
+        info = project.functions.get(qname)
+        if info is None:
+            continue
+        spans.append((node.lineno, node.end_lineno or node.lineno, info))
+    return spans
+
+
+def _scope_chain(
+    spans: Sequence[Tuple[int, int, FunctionInfo]], line: int
+) -> Tuple[FunctionInfo, ...]:
+    """Enclosing functions of ``line``, innermost first."""
+    containing = [span for span in spans if span[0] <= line <= span[1]]
+    containing.sort(key=lambda span: (-span[0], span[1]))
+    return tuple(info for _s, _e, info in containing)
+
+
+def _comment_match(
+    module: ParsedModule, line: int, pattern: re.Pattern
+) -> Optional[str]:
+    """First group of ``pattern`` at ``line`` or the comment block above."""
+    return comment_block_match(module, line, pattern)
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """Leftmost ``Name`` of an attribute/subscript chain."""
+    current = expr
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _target_terminal(expr: ast.expr) -> Optional[str]:
+    """Human name of a store target: last attribute / name component."""
+    if isinstance(expr, ast.Subscript):
+        return _target_terminal(expr.value)
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _walk_no_nested_defs(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk statements/expressions of a def without entering nested defs."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield child
+        yield from _walk_no_nested_defs(child)
+
+
+# ------------------------------------------------------------------ R14
+
+
+class ScatterAliasingRule(ProjectRule):
+    """R14: fancy-index read-modify-write needs a duplicate-free index.
+
+    ``arr[idx] += rhs`` compiles to a gather, one add, and a scatter —
+    when ``idx`` holds the same position twice, all but the last update
+    are silently dropped, while the scalar reference path applies each
+    one. Every such statement in a kernel module must have an index the
+    provenance dataflow can prove duplicate-free (masks, ``np.arange``,
+    the ``mask.nonzero()[0]`` idiom, slices, scalars, or subsets
+    thereof), or switch to the unbuffered ``np.<ufunc>.at``, or carry a
+    reviewed ``# repro: unique-index[reason]`` waiver.
+    """
+
+    code = "R14"
+    name = "scatter-aliasing"
+    description = "fancy-index RMW whose index is not provably duplicate-free"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_callgraph(project)
+        for module_name, module in _kernel_modules(project):
+            spans = _scope_spans(project, module_name, module)
+            for stmt in ast.walk(module.tree):
+                target = self._rmw_target(stmt)
+                if target is None:
+                    continue
+                yield from self._check_site(
+                    project, graph, module_name, module, spans,
+                    stmt, target,
+                )
+
+    @staticmethod
+    def _rmw_target(stmt: ast.AST) -> Optional[ast.Subscript]:
+        if isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Subscript
+        ):
+            return stmt.target
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Subscript)
+        ):
+            # The spelled-out RMW: ``arr[idx] = arr[idx] op rhs``.
+            target = stmt.targets[0]
+            base_dump = ast.dump(target.value)
+            index_dump = ast.dump(target.slice)
+            for node in ast.walk(stmt.value):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and ast.dump(node.value) == base_dump
+                    and ast.dump(node.slice) == index_dump
+                ):
+                    return target
+        return None
+
+    def _check_site(
+        self,
+        project: Project,
+        graph: CallGraph,
+        module_name: str,
+        module: ParsedModule,
+        spans: Sequence[Tuple[int, int, FunctionInfo]],
+        stmt: ast.AST,
+        target: ast.Subscript,
+    ) -> Iterator[Finding]:
+        index = target.slice
+        scopes = _scope_chain(spans, stmt.lineno)
+
+        def labels_of(expr: ast.expr) -> Set[str]:
+            return classify_index_expr(
+                project, graph, module_name, scopes, expr
+            )
+
+        if isinstance(index, ast.Tuple):
+            element_labels = [labels_of(element) for element in index.elts]
+            if all(
+                labels <= {"scalar", "slice"} for labels in element_labels
+            ):
+                return  # a single cell / rectangular basic region
+            if any(labels == {"unique"} for labels in element_labels):
+                return  # one duplicate-free component makes tuples distinct
+            masks = [
+                labels for labels in element_labels if labels == {"mask"}
+            ]
+            rest_basic = all(
+                labels <= {"scalar", "slice", "mask"}
+                for labels in element_labels
+            )
+            if len(masks) == 1 and rest_basic:
+                return  # one boolean component, rest basic: duplicate-free
+            origins = sorted(set().union(*element_labels))
+        else:
+            labels = labels_of(index)
+            if is_duplicate_free(labels):
+                return
+            origins = sorted(labels)
+
+        if unique_index_waiver(module, stmt.lineno) is not None:
+            return
+        base_name = _target_terminal(target) or "<array>"
+        yield module.finding(
+            self.code, stmt,
+            f"fancy-index RMW on `{base_name}` with an index not provably "
+            f"duplicate-free (origin: {', '.join(origins)}); duplicate "
+            "positions silently collapse to one update — use "
+            "`np.<ufunc>.at`, or annotate `# repro: unique-index[reason]` "
+            "if duplicates are impossible",
+        )
+
+
+# ------------------------------------------------------------------ R15
+
+
+def _const_slice_range(
+    index: ast.expr,
+) -> Optional[Tuple[Optional[int], Optional[int]]]:
+    """``(lower, upper)`` of a slice with literal non-negative bounds."""
+    if not isinstance(index, ast.Slice) or index.step is not None:
+        return None
+    bounds: List[Optional[int]] = []
+    for bound in (index.lower, index.upper):
+        if bound is None:
+            bounds.append(None)
+        elif isinstance(bound, ast.Constant) and isinstance(
+            bound.value, int
+        ) and bound.value >= 0:
+            bounds.append(bound.value)
+        else:
+            return None
+    return bounds[0], bounds[1]
+
+
+def _provably_disjoint(a: ast.expr, b: ast.expr) -> bool:
+    """Can two basic indices be proven to address disjoint regions?"""
+    a_elements = a.elts if isinstance(a, ast.Tuple) else [a]
+    b_elements = b.elts if isinstance(b, ast.Tuple) else [b]
+    for dim_a, dim_b in zip(a_elements, b_elements):
+        range_a = _const_slice_range(dim_a)
+        range_b = _const_slice_range(dim_b)
+        if range_a is not None and range_b is not None:
+            low_a, up_a = range_a
+            low_b, up_b = range_b
+            if up_a is not None and low_b is not None and up_a <= low_b:
+                return True
+            if up_b is not None and low_a is not None and up_b <= low_a:
+                return True
+        if (
+            isinstance(dim_a, ast.Constant)
+            and isinstance(dim_b, ast.Constant)
+            and dim_a.value != dim_b.value
+        ):
+            return True
+    return False
+
+
+class ViewAliasingRule(ProjectRule):
+    """R15: in-place updates must not read their base through a view.
+
+    ``x[1:] += x[:-1]`` (directly, through an alias name bound to a
+    basic-slice view, or through a ufunc ``out=``) makes the update
+    order-dependent in principle; numpy saves it only by detecting the
+    overlap at runtime and buffering a hidden temporary. The kernels hoist
+    such reads into explicit copies instead, so every remaining aliased
+    read is a bug or an unbudgeted hidden copy. Fancy-indexed reads are
+    copies by definition and never flagged.
+    """
+
+    code = "R15"
+    name = "view-aliasing"
+    description = "in-place update reading its own base through a view"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_callgraph(project)
+        for module_name, module in _kernel_modules(project):
+            spans = _scope_spans(project, module_name, module)
+            scopes = [info.node for _s, _e, info in spans]
+            scopes.append(module.tree)
+            for scope_node in scopes:
+                yield from self._check_scope(
+                    project, graph, module_name, module, spans, scope_node
+                )
+
+    def _check_scope(
+        self,
+        project: Project,
+        graph: CallGraph,
+        module_name: str,
+        module: ParsedModule,
+        spans: Sequence[Tuple[int, int, FunctionInfo]],
+        scope_node: ast.AST,
+    ) -> Iterator[Finding]:
+        chain = (
+            _scope_chain(spans, scope_node.lineno)
+            if not isinstance(scope_node, ast.Module) else ()
+        )
+
+        def is_basic_index(index: ast.expr) -> bool:
+            """Basic (view-producing) index: slices and scalars only."""
+            elements = (
+                index.elts if isinstance(index, ast.Tuple) else [index]
+            )
+            for element in elements:
+                if isinstance(element, ast.Slice):
+                    continue
+                labels = classify_index_expr(
+                    project, graph, module_name, chain, element
+                )
+                if labels != {"scalar"}:
+                    return False
+            return True
+
+        # Alias map: name -> (base dump, index dump or None for the whole
+        # array). Only provable views alias; fancy reads are copies.
+        aliases: Dict[str, Tuple[str, Optional[str], Optional[ast.expr]]] = {}
+        for node in _walk_no_nested_defs(scope_node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, (ast.Name, ast.Attribute)):
+                aliases[target.id] = (ast.dump(value), None, None)
+            elif (
+                isinstance(value, ast.Subscript)
+                and is_basic_index(value.slice)
+                and any(
+                    isinstance(element, ast.Slice)
+                    for element in (
+                        value.slice.elts
+                        if isinstance(value.slice, ast.Tuple)
+                        else [value.slice]
+                    )
+                )
+            ):
+                # Only slice-bearing basic indices alias: an all-scalar
+                # subscript of the kernels' 1-D columns is a value copy.
+                aliases[target.id] = (
+                    ast.dump(value.value), ast.dump(value.slice), value.slice
+                )
+            elif target.id in aliases:
+                del aliases[target.id]  # rebound to a non-view
+
+        def resolve_base(
+            expr: ast.expr,
+        ) -> Tuple[Set[str], Optional[ast.expr]]:
+            """Base dumps ``expr`` may alias, plus its own index expr."""
+            if isinstance(expr, ast.Subscript):
+                bases = {ast.dump(expr.value)}
+                if isinstance(expr.value, ast.Name):
+                    alias = aliases.get(expr.value.id)
+                    if alias is not None:
+                        bases.add(alias[0])
+                return bases, expr.slice
+            bases = {ast.dump(expr)}
+            index: Optional[ast.expr] = None
+            if isinstance(expr, ast.Name):
+                alias = aliases.get(expr.id)
+                if alias is not None:
+                    bases.add(alias[0])
+                    index = alias[2]
+            return bases, index
+
+        for stmt in _walk_no_nested_defs(scope_node):
+            if isinstance(stmt, ast.AugAssign):
+                reads = [stmt.value]
+                yield from self._check_update(
+                    module, stmt, stmt.target, reads, resolve_base,
+                    is_basic_index,
+                )
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                if isinstance(stmt.targets[0], ast.Subscript):
+                    yield from self._check_update(
+                        module, stmt, stmt.targets[0], [stmt.value],
+                        resolve_base, is_basic_index,
+                    )
+            elif isinstance(stmt, ast.Call):
+                out = next(
+                    (
+                        kw.value for kw in stmt.keywords
+                        if kw.arg == "out" and isinstance(
+                            kw.value, (ast.Name, ast.Attribute, ast.Subscript)
+                        )
+                    ),
+                    None,
+                )
+                if out is not None:
+                    reads = [
+                        *stmt.args,
+                        *[kw.value for kw in stmt.keywords if kw.arg != "out"],
+                    ]
+                    yield from self._check_update(
+                        module, stmt, out, reads, resolve_base,
+                        is_basic_index,
+                    )
+
+    def _check_update(
+        self,
+        module: ParsedModule,
+        stmt: ast.AST,
+        target: ast.expr,
+        reads: Sequence[ast.expr],
+        resolve_base,
+        is_basic_index,
+    ) -> Iterator[Finding]:
+        target_bases, target_index = resolve_base(target)
+        target_dump = ast.dump(target)
+
+        def has_slice(index: ast.expr) -> bool:
+            elements = (
+                index.elts if isinstance(index, ast.Tuple) else [index]
+            )
+            return any(
+                isinstance(element, ast.Slice) for element in elements
+            )
+
+        for read_root in reads:
+            for node in ast.walk(read_root):
+                if ast.dump(node) == target_dump:
+                    continue  # the exact same region: elementwise-aligned
+                read_index: Optional[ast.expr]
+                if isinstance(node, ast.Subscript):
+                    read_bases, read_index = resolve_base(node)
+                    if not (read_bases & target_bases):
+                        continue
+                    if not is_basic_index(node.slice):
+                        continue  # fancy read: numpy copies, no aliasing
+                    if not has_slice(node.slice):
+                        continue  # scalar element read: a copied value
+                elif isinstance(node, ast.Name):
+                    read_bases, read_index = resolve_base(node)
+                    if len(read_bases) < 2:
+                        continue  # not an alias name
+                    if not (read_bases & target_bases):
+                        continue
+                else:
+                    continue
+                if (
+                    target_index is not None
+                    and read_index is not None
+                    and _provably_disjoint(target_index, read_index)
+                ):
+                    continue
+                terminal = _target_terminal(target) or "<array>"
+                yield module.finding(
+                    self.code, stmt,
+                    f"in-place update of `{terminal}` reads the same base "
+                    "array through an overlapping view "
+                    f"(`{ast.unparse(node)}`); hoist the read into an "
+                    "explicit `.copy()` or prove the slices disjoint",
+                )
+                return
+
+
+# ------------------------------------------------------------------ R16
+
+
+def _mirror_covered_ranges(
+    project: Project, module_name: str, module: ParsedModule
+) -> List[Tuple[int, int]]:
+    """Line ranges covered by R10 mirror tags (defs and regions)."""
+    ranges: List[Tuple[int, int]] = []
+    for node, _qname, _cls in iter_scopes(module_name, module.tree):
+        for line in (node.lineno, node.lineno - 1):
+            if not 1 <= line <= len(module.lines):
+                continue
+            match = _MIRROR_RE.search(module.lines[line - 1])
+            if match is not None and match.group(2) is None:
+                ranges.append((node.lineno, node.end_lineno or node.lineno))
+                break
+    open_regions: Dict[str, int] = {}
+    for line_number, text in enumerate(module.lines, start=1):
+        match = _MIRROR_RE.search(text)
+        if match is None or match.group(2) is None:
+            continue
+        name, kind = match.group(1), match.group(2)
+        if kind == "begin":
+            open_regions[name] = line_number
+        else:
+            begin = open_regions.pop(name, None)
+            if begin is not None:
+                ranges.append((begin, line_number))
+    return ranges
+
+
+def _in_ranges(ranges: Sequence[Tuple[int, int]], line: int) -> bool:
+    return any(start <= line <= end for start, end in ranges)
+
+
+class LaneCouplingRule(ProjectRule):
+    """R16: mirror-tagged kernel code must not couple lanes.
+
+    Inside an R10 mirror region every lane is an independent transcription
+    of the scalar path; a reduction over the lane axis (``.sum()``,
+    ``.any()``, ``.max()``, ... with no ``axis=`` or an axis including 0)
+    that flows into mutated state makes lane *i*'s value depend on lane
+    *j* — a coupling the scalar path cannot express. Per-lane reductions
+    (``axis=1`` and friends) are fine. Documented shared counters are
+    allowlisted or annotated ``# repro: shared-scalar[name]``.
+    """
+
+    code = "R16"
+    name = "lane-coupling"
+    description = "cross-lane reduction mutating state in mirror-tagged code"
+
+    def __init__(
+        self, shared_scalars: Optional[Set[str]] = None
+    ) -> None:
+        self.shared_scalars = (
+            set(DEFAULT_SHARED_SCALARS)
+            if shared_scalars is None else set(shared_scalars)
+        )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module_name, module in _kernel_modules(project):
+            ranges = _mirror_covered_ranges(project, module_name, module)
+            if not ranges:
+                continue
+            for stmt in ast.walk(module.tree):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                    continue
+                if not _in_ranges(ranges, stmt.lineno):
+                    continue
+                target = self._state_target(stmt)
+                if target is None:
+                    continue
+                reduction = self._cross_lane_reduction(stmt.value)
+                if reduction is None:
+                    continue
+                terminal = _target_terminal(target) or "<state>"
+                if terminal in self.shared_scalars:
+                    continue
+                waived = _comment_match(
+                    module, stmt.lineno, SHARED_SCALAR_RE
+                )
+                if waived is not None and (
+                    waived == "*" or terminal in {
+                        part.strip() for part in waived.split(",")
+                    }
+                ):
+                    continue
+                yield module.finding(
+                    self.code, stmt,
+                    f"cross-lane reduction `{reduction}` flows into "
+                    f"`{terminal}` inside a mirror-tagged region; per-lane "
+                    "transcriptions must not couple lanes — reduce along "
+                    "the per-lane axis (axis=1), or annotate a documented "
+                    "shared counter with `# repro: shared-scalar[name]`",
+                )
+
+    @staticmethod
+    def _state_target(stmt: ast.AST) -> Optional[ast.expr]:
+        if isinstance(stmt, ast.AugAssign):
+            return stmt.target
+        assert isinstance(stmt, ast.Assign)
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                return target
+        return None
+
+    @staticmethod
+    def _cross_lane_reduction(value: ast.expr) -> Optional[str]:
+        for node in ast.walk(value):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                terminal = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                terminal = node.func.id
+                if len(node.args) > 1:
+                    continue  # builtin max(a, b) style: not a reduction
+            else:
+                continue
+            if terminal not in _REDUCTIONS:
+                continue
+            axis = next(
+                (kw.value for kw in node.keywords if kw.arg == "axis"),
+                None,
+            )
+            if axis is None and isinstance(node.func, ast.Attribute):
+                # positional axis: x.sum(1)
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    axis = node.args[0]
+            if axis is not None:
+                if isinstance(axis, ast.Constant) and axis.value not in (
+                    0, None
+                ):
+                    continue  # per-lane axis
+                if isinstance(axis, ast.Tuple) and all(
+                    isinstance(element, ast.Constant)
+                    and element.value != 0
+                    for element in axis.elts
+                ):
+                    continue
+            return ast.unparse(node.func) + "(...)"
+        return None
+
+
+# ------------------------------------------------------------------ R17
+
+
+#: Value expressions that construct a fresh object (mutating it is local).
+_FRESH_VALUE_TYPES = (
+    ast.Call, ast.List, ast.ListComp, ast.Dict, ast.DictComp,
+    ast.Set, ast.SetComp, ast.Constant, ast.BinOp, ast.Compare,
+)
+
+
+class MirrorCoverageRule(ProjectRule):
+    """R17: state-mutating kernel defs must sit under a mirror tag.
+
+    R10 only protects code someone remembered to tag. This rule closes
+    the gap: every ``def`` in a ``*_kernel.py`` module that mutates state
+    it did not create (subscript stores, ``np.<ufunc>.at``, ufunc
+    ``out=`` onto parameters, ``self``, closure names, or module
+    globals) must be covered by a mirror tag — its own, an enclosing
+    tagged def, or a begin/end region overlapping it — or carry a
+    reviewed ``# repro: mirror-exempt[reason]`` acknowledgement.
+    ``__init__`` constructors mutating only ``self`` are exempt (the
+    object is being created).
+    """
+
+    code = "R17"
+    name = "mirror-coverage"
+    description = "kernel def mutates state outside every mirror tag"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module_name, module in _kernel_modules(project):
+            name = _basename(module.path)
+            # Only the twin-tracked kernels proper: compiled.py holds
+            # trace preprocessing with no scalar-path mirror, and test
+            # kernels have no twin by design.
+            if not name.endswith("_kernel.py") or name.startswith("test_"):
+                continue
+            ranges = _mirror_covered_ranges(project, module_name, module)
+            for node, qname, _cls in iter_scopes(module_name, module.tree):
+                span = (node.lineno, node.end_lineno or node.lineno)
+                if any(
+                    start <= span[0] and span[1] <= end
+                    or (start <= span[0] <= end)
+                    or (span[0] <= start <= span[1])
+                    for start, end in ranges
+                ):
+                    continue
+                if _comment_match(
+                    module, node.lineno, MIRROR_EXEMPT_RE
+                ) is not None:
+                    continue
+                mutation = self._first_nonlocal_mutation(node)
+                if mutation is None:
+                    continue
+                local = qname[len(module_name) + 1:]
+                detail, line = mutation
+                yield module.finding(
+                    self.code, node,
+                    f"`{local}` mutates kernel state (`{detail}` at line "
+                    f"{line}) but no `# repro: mirror[...]` tag covers it; "
+                    "twin-track the fast path or acknowledge it with "
+                    "`# repro: mirror-exempt[reason]`",
+                )
+
+    @staticmethod
+    def _first_nonlocal_mutation(
+        node: ast.AST,
+    ) -> Optional[Tuple[str, int]]:
+        is_init = getattr(node, "name", "") == "__init__"
+        local_names: Set[str] = set()
+        tainted: Set[str] = set()
+        for child in _walk_no_nested_defs(node):
+            if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                value = child.value
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if value is not None and isinstance(
+                            value, _FRESH_VALUE_TYPES
+                        ):
+                            local_names.add(target.id)
+                        else:
+                            tainted.add(target.id)
+        local_names -= tainted
+
+        def is_nonlocal_store(target: ast.expr) -> Optional[str]:
+            root = _root_name(target)
+            if root is None:
+                return None
+            if root == "self" and is_init:
+                return None
+            if root != "self" and root in local_names:
+                return None
+            return ast.unparse(target)
+
+        for child in _walk_no_nested_defs(node):
+            detail: Optional[str] = None
+            if isinstance(child, ast.AugAssign) and isinstance(
+                child.target, ast.Subscript
+            ):
+                detail = is_nonlocal_store(child.target)
+            elif isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Subscript):
+                        detail = is_nonlocal_store(target)
+                        if detail is not None:
+                            break
+            elif isinstance(child, ast.Call):
+                if (
+                    isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "at"
+                    and child.args
+                ):
+                    detail = is_nonlocal_store(child.args[0])
+                else:
+                    out = next(
+                        (
+                            kw.value for kw in child.keywords
+                            if kw.arg == "out"
+                        ),
+                        None,
+                    )
+                    if out is not None:
+                        detail = is_nonlocal_store(out)
+            if detail is not None:
+                return detail, child.lineno
+        return None
+
+
+#: R14–R17 instances, in code order (appended by ``default_rules``).
+ARRAY_RULES: Tuple[ProjectRule, ...] = (
+    ScatterAliasingRule(),
+    ViewAliasingRule(),
+    LaneCouplingRule(),
+    MirrorCoverageRule(),
+)

@@ -6,12 +6,18 @@ renderer the experiment tables use), and exits non-zero only when there
 are findings not covered by the baseline — so CI output is actionable in
 a single run instead of dying on the first hit.
 
+``--format json`` swaps the human-readable report for one JSON document
+on stdout (findings plus per-rule counts), so CI can archive the run as
+an artifact and downstream tooling can diff reports without scraping the
+table.  Exit codes are identical in both formats.
+
 Exit codes: 0 clean (or fully baselined), 1 new findings, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -27,7 +33,7 @@ from repro.analysis.core import Finding, default_rules, run_analysis
 from repro.analysis.rules import Rule
 
 #: Every rule the CLI knows: per-module R1–R7 and R13 plus project-wide
-#: R8–R12.
+#: R8–R12 and the vectorization-soundness rules R14–R17.
 ACTIVE_RULES: Tuple[Rule, ...] = default_rules()
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ACTIVE_RULES}
@@ -36,7 +42,7 @@ RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ACTIVE_RULES}
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Fidelity & determinism static analysis (rules R1-R13).",
+        description="Fidelity & determinism static analysis (rules R1-R17).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -81,6 +87,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="parse/lint modules in a process pool of N workers",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="report format: human-readable table (default) or one JSON "
+        "document suitable for CI artifacts",
     )
     return parser
 
@@ -151,6 +162,54 @@ def summarize(
     )
 
 
+def render_json(
+    rules: Sequence[Rule],
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    """One JSON document mirroring the table report.
+
+    Every finding (new *and* baselined) appears under ``findings`` with a
+    ``baselined`` flag, so an archived artifact records the full burn-down
+    state of the run, not just what failed it.  Keys are sorted and the
+    document ends in a newline so artifacts diff cleanly across runs.
+    """
+
+    def encode(finding: Finding, accepted: bool) -> Dict[str, object]:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "source_line": finding.source_line,
+            "baselined": accepted,
+        }
+
+    counts: Dict[str, Dict[str, int]] = {
+        rule.code: {"new": 0, "baselined": 0} for rule in rules
+    }
+    for finding in new:
+        counts.setdefault(finding.rule, {"new": 0, "baselined": 0})
+        counts[finding.rule]["new"] += 1
+    for finding in baselined:
+        counts.setdefault(finding.rule, {"new": 0, "baselined": 0})
+        counts[finding.rule]["baselined"] += 1
+    document = {
+        "rules": [
+            {"code": rule.code, "name": rule.name} for rule in rules
+        ],
+        "counts": counts,
+        "findings": [
+            *(encode(finding, False) for finding in new),
+            *(encode(finding, True) for finding in baselined),
+        ],
+        "new": len(new),
+        "baselined": len(baselined),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _parser()
     args = parser.parse_args(argv)
@@ -213,6 +272,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
     new, baselined = split_by_baseline(findings, accepted)
+
+    if args.format == "json":
+        sys.stdout.write(render_json(rules, new, baselined))
+        return 1 if new else 0
 
     for finding in new:
         print(finding.format())

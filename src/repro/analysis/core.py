@@ -112,12 +112,13 @@ def check_module(module: ParsedModule, rules: Iterable["Rule"]) -> List[Finding]
 
 
 def default_rules() -> tuple["Rule", ...]:
-    """Fresh instances of the full default rule set, R1–R13 in order."""
+    """Fresh instances of the full default rule set, R1–R17 in order."""
+    from repro.analysis.array_rules import ARRAY_RULES
     from repro.analysis.dtype_rules import DtypeContractRule
     from repro.analysis.project_rules import PROJECT_RULES
     from repro.analysis.rules import ALL_RULES
 
-    return (*ALL_RULES, DtypeContractRule(), *PROJECT_RULES)
+    return (*ALL_RULES, DtypeContractRule(), *PROJECT_RULES, *ARRAY_RULES)
 
 
 def _module_pass_worker(

@@ -1,0 +1,531 @@
+"""Index-provenance dataflow over the call graph (R14's engine).
+
+:func:`classify_index_expr` answers one question about an expression used
+as a fancy index in a kernel scatter update: *can this index carry
+duplicate positions?* It walks assignments inside the enclosing function
+chain (closures included), follows parameters backwards through every
+recorded call site (depth-limited, cycle-guarded), chases module
+constants, and looks through thin project helpers via their ``return``
+expressions — the same machinery shape as R8's seed classifier
+(:mod:`repro.analysis.dataflow`). The result is a set of :data:`Label`
+values:
+
+- ``unique`` — a provably duplicate-free integer array:
+  ``np.arange``/``np.flatnonzero``/``np.unique``/``np.argsort``, the
+  ``[0]`` component of a single-target ``mask.nonzero()`` /
+  ``np.where(mask)``, or any subset of such an array taken through a
+  mask, a slice, or another unique index;
+- ``mask`` — a boolean array (comparisons, ``~``/``&``/``|``/``^`` of
+  masks, ``np.isin``/``np.logical_*``); a mask can never address the
+  same element twice;
+- ``scalar`` — a single position: literals, loop variables,
+  ``int``-annotated parameters, ``int()``/``len()``/shape elements, and
+  arithmetic over those;
+- ``slice`` — a basic slice (duplicate-free by construction);
+- ``unknown`` — the analysis cannot see further.
+
+Only ``a, b = m.nonzero()`` style tuple unpacking is deliberately *not*
+labelled unique: on a 2-D mask each component alone can repeat (only the
+pairs are distinct), and the single-target ``m.nonzero()[0]`` spelling is
+the project's 1-D idiom.
+
+A helper whose return value is duplicate-free for reasons the dataflow
+cannot prove (e.g. a memo dict holding ``np.arange`` results) can assert
+it with ``# repro: unique-index[reason]`` on (or directly above) its
+``def`` line; :func:`classify_index_expr` then trusts every call to it.
+The same comment on a scatter statement is the *site-level* waiver that
+:class:`repro.analysis.array_rules.ScatterAliasingRule` honours.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, argument_for_param
+from repro.analysis.core import ParsedModule
+from repro.analysis.symbols import FunctionInfo, Project
+
+Label = str
+
+# Kernel index chains are long (r3 = r2[lm], r2 = mrows[rem], mrows =
+# all_rows[...], ...), so the budget is deeper than R8's seed flows.
+_MAX_DEPTH = 10
+
+#: ``# repro: unique-index[reason]`` — site waiver / helper assertion.
+UNIQUE_INDEX_RE = re.compile(r"#\s*repro:\s*unique-index\[([^\]]+)\]")
+
+#: numpy constructors whose result is a duplicate-free integer array.
+#: ``argmax``/``argmin``/``searchsorted`` are deliberately absent — their
+#: per-slot results can repeat across slots.
+_UNIQUE_CALLS = frozenset({
+    "arange", "flatnonzero", "unique", "argsort", "argpartition",
+})
+
+#: calls returning the ``np.nonzero``-style tuple of index arrays.
+_NONZERO_CALLS = frozenset({"nonzero"})
+
+#: numpy calls whose result is a boolean mask.
+_MASK_CALLS = frozenset({
+    "isin", "isnan", "isfinite", "isinf", "isclose",
+    "logical_and", "logical_or", "logical_not", "logical_xor",
+    "greater", "greater_equal", "less", "less_equal",
+    "equal", "not_equal", "in1d",
+})
+
+#: builtins/conversions whose result is a scalar position.
+_SCALAR_CALLS = frozenset({"int", "len", "round", "ord", "bool", "float"})
+
+#: methods that preserve the value multiset (and hence uniqueness /
+#: boolean-ness) of their receiver.
+_PASSTHROUGH_METHODS = frozenset({"astype", "copy", "ravel", "reshape"})
+
+_SCALAR_ANNOTATIONS = frozenset({"int", "bool", "float", "np.intp"})
+
+
+def comment_block_match(
+    module: ParsedModule, line: int, pattern: "re.Pattern[str]"
+) -> Optional[str]:
+    """First group of ``pattern`` on ``line`` or the comment block above.
+
+    The upward scan walks contiguous full-line comments (and decorator
+    lines, so a tag above ``@dataclass`` still binds), bounded to a few
+    lines, which lets several ``# repro: ...`` annotations stack above
+    one ``def``.
+    """
+    candidates = [line]
+    for above in range(line - 1, max(0, line - 6), -1):
+        if above < 1 or above > len(module.lines):
+            break
+        stripped = module.lines[above - 1].lstrip()
+        candidates.append(above)
+        if not stripped.startswith(("#", "@")):
+            break
+    for candidate in candidates:
+        if 1 <= candidate <= len(module.lines):
+            match = pattern.search(module.lines[candidate - 1])
+            if match is not None:
+                return match.group(1).strip()
+    return None
+
+
+def unique_index_waiver(
+    module: ParsedModule, line: int
+) -> Optional[str]:
+    """Reason text of a ``# repro: unique-index[...]`` at/above ``line``."""
+    return comment_block_match(module, line, UNIQUE_INDEX_RE)
+
+
+def is_duplicate_free(labels: Set[Label]) -> bool:
+    """Every possible origin of the index is provably duplicate-free."""
+    return bool(labels) and labels <= {"unique", "mask", "scalar", "slice"}
+
+
+def classify_index_expr(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scopes: Sequence[FunctionInfo],
+    expr: ast.expr,
+    depth: int = _MAX_DEPTH,
+    stack: FrozenSet[Tuple[str, str]] = frozenset(),
+) -> Set[Label]:
+    """Provenance labels for ``expr`` used as an index.
+
+    ``scopes`` is the chain of enclosing functions, innermost first, so
+    closure reads resolve against the defining scope (the array kernel is
+    one large function with nested helpers).
+    """
+    if depth <= 0:
+        return {"unknown"}
+
+    if isinstance(expr, ast.Constant):
+        # Any literal (int position, dict key string, bool) addresses a
+        # single element.
+        return {"scalar"}
+
+    if isinstance(expr, ast.Slice):
+        return {"slice"}
+
+    if isinstance(expr, ast.Name):
+        return _classify_name(
+            project, graph, module, scopes, expr.id, depth, stack
+        )
+
+    if isinstance(expr, ast.Compare):
+        return {"mask"}
+
+    if isinstance(expr, ast.Subscript):
+        return _classify_subscript(
+            project, graph, module, scopes, expr, depth, stack
+        )
+
+    if isinstance(expr, ast.Call):
+        return _classify_call(
+            project, graph, module, scopes, expr, depth, stack
+        )
+
+    if isinstance(expr, ast.UnaryOp):
+        inner = classify_index_expr(
+            project, graph, module, scopes, expr.operand, depth - 1, stack
+        )
+        if isinstance(expr.op, ast.Invert) and inner == {"mask"}:
+            return {"mask"}
+        if isinstance(expr.op, (ast.USub, ast.UAdd)) and inner == {"scalar"}:
+            return {"scalar"}
+        return {"unknown"}
+
+    if isinstance(expr, ast.BinOp):
+        return _classify_binop(
+            project, graph, module, scopes, expr, depth, stack
+        )
+
+    if isinstance(expr, ast.IfExp):
+        return classify_index_expr(
+            project, graph, module, scopes, expr.body, depth - 1, stack
+        ) | classify_index_expr(
+            project, graph, module, scopes, expr.orelse, depth - 1, stack
+        )
+
+    if isinstance(expr, ast.Attribute):
+        if expr.attr in ("size", "ndim", "hi", "capacity"):
+            return {"scalar"}
+        return {"unknown"}
+
+    return {"unknown"}
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _attr_chain(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    current = expr
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _loop_targets(scope: FunctionInfo) -> Set[str]:
+    """Names bound as loop variables directly inside ``scope``.
+
+    A loop variable indexes one element per iteration, so as a subscript
+    it is a scalar position. Nested defs are separate scopes.
+    """
+    names: Set[str] = set()
+
+    def collect_target(target: ast.expr) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.For):
+                collect_target(child.target)
+            elif isinstance(child, (ast.ListComp, ast.SetComp,
+                                    ast.DictComp, ast.GeneratorExp)):
+                for comp in child.generators:
+                    collect_target(comp.target)
+            visit(child)
+
+    visit(scope.node)
+    return names
+
+
+def _assignments_to(
+    scope: FunctionInfo, name: str
+) -> Tuple[ast.expr, ...]:
+    """Single-target value expressions assigned to ``name`` in ``scope``.
+
+    Tuple-unpacking targets are *excluded* on purpose: ``a, b =
+    m.nonzero()`` gives no per-component uniqueness guarantee on a 2-D
+    mask, so those names stay ``unknown``.
+    """
+    values: List[ast.expr] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        values.append(child.value)
+            elif isinstance(child, ast.AnnAssign):
+                if (
+                    isinstance(child.target, ast.Name)
+                    and child.target.id == name
+                    and child.value is not None
+                ):
+                    values.append(child.value)
+            elif isinstance(child, ast.AugAssign):
+                if isinstance(child.target, ast.Name) and child.target.id == name:
+                    # ``idx += k`` keeps whatever provenance both sides
+                    # prove; model it as a fresh BinOp assignment.
+                    values.append(
+                        ast.BinOp(
+                            left=ast.Name(id=name, ctx=ast.Load()),
+                            op=child.op,
+                            right=child.value,
+                        )
+                    )
+            visit(child)
+
+    visit(scope.node)
+    return tuple(values)
+
+
+def _param_annotation(scope: FunctionInfo, name: str) -> Optional[str]:
+    args = scope.node.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        args.vararg, args.kwarg,
+    ):
+        if arg is not None and arg.arg == name and arg.annotation is not None:
+            if isinstance(arg.annotation, ast.Name):
+                return arg.annotation.id
+            if isinstance(arg.annotation, ast.Constant) and isinstance(
+                arg.annotation.value, str
+            ):
+                return arg.annotation.value
+            return _attr_chain(arg.annotation)
+    return None
+
+
+def _classify_name(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scopes: Sequence[FunctionInfo],
+    name: str,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Label]:
+    for position, scope in enumerate(scopes):
+        # ``for name in ...`` rebinding wins: the subscript sees one
+        # element per iteration even if the name is also assigned.
+        if name in _loop_targets(scope):
+            return {"scalar"}
+        values = _assignments_to(scope, name)
+        if values:
+            out: Set[Label] = set()
+            chain = scopes[position:]
+            for value in values:
+                out |= classify_index_expr(
+                    project, graph, module, chain, value, depth - 1, stack
+                )
+            return out
+        if name in scope.params:
+            annotation = _param_annotation(scope, name)
+            if annotation in _SCALAR_ANNOTATIONS:
+                return {"scalar"}
+            key = (scope.qname, name)
+            if key in stack:
+                return {"unknown"}
+            sites = graph.callers_of.get(scope.qname, [])
+            if not sites:
+                return {"unknown"}
+            from_callers: Set[Label] = set()
+            for site in sites:
+                argument = argument_for_param(site, scope, name)
+                if argument is None:
+                    from_callers |= {"unknown"}
+                    continue
+                caller_scope = project.functions.get(site.caller)
+                caller_chain = (
+                    (caller_scope,) if caller_scope is not None else ()
+                )
+                from_callers |= classify_index_expr(
+                    project, graph, site.module, caller_chain, argument,
+                    depth - 1, stack | {key},
+                )
+            return from_callers
+    resolved = project.resolve(module, name)
+    if resolved is not None and resolved in project.constants:
+        return classify_index_expr(
+            project, graph, resolved.rsplit(".", 1)[0], (),
+            project.constants[resolved], depth - 1, stack,
+        )
+    return {"unknown"}
+
+
+def _call_terminal(call: ast.Call) -> Optional[str]:
+    """Final name component of the call target (``np.nonzero`` -> nonzero)."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _is_nonzero_tuple(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scopes: Sequence[FunctionInfo],
+    expr: ast.expr,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> bool:
+    """Is ``expr`` the tuple result of ``nonzero()`` / 1-arg ``where()``?"""
+    if not isinstance(expr, ast.Call):
+        return False
+    terminal = _call_terminal(expr)
+    if terminal in _NONZERO_CALLS:
+        return True
+    if terminal == "where" and len(expr.args) == 1 and not expr.keywords:
+        return True
+    return False
+
+
+def _classify_subscript(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scopes: Sequence[FunctionInfo],
+    expr: ast.Subscript,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Label]:
+    # ``x.shape[k]`` is a dimension length: a scalar.
+    if (
+        isinstance(expr.value, ast.Attribute)
+        and expr.value.attr == "shape"
+    ):
+        return {"scalar"}
+    # ``mask.nonzero()[0]`` / ``np.where(mask)[0]``: the single-target
+    # 1-D idiom — duplicate-free row indices.
+    if _is_nonzero_tuple(
+        project, graph, module, scopes, expr.value, depth, stack
+    ) and isinstance(expr.slice, ast.Constant):
+        return {"unique"}
+
+    base = classify_index_expr(
+        project, graph, module, scopes, expr.value, depth - 1, stack
+    )
+    index = classify_index_expr(
+        project, graph, module, scopes, expr.slice, depth - 1, stack
+    )
+    if base == {"mask"}:
+        # Subsetting a boolean array yields a boolean array.
+        return {"mask"}
+    if base == {"unique"}:
+        if index == {"scalar"}:
+            return {"scalar"}
+        if index and index <= {"unique", "mask", "slice"}:
+            # A subset of distinct values stays distinct.
+            return {"unique"}
+    return {"unknown"}
+
+
+def _classify_call(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scopes: Sequence[FunctionInfo],
+    call: ast.Call,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Label]:
+    terminal = _call_terminal(call)
+    if terminal in _SCALAR_CALLS:
+        return {"scalar"}
+    if terminal in _UNIQUE_CALLS:
+        return {"unique"}
+    if terminal in _MASK_CALLS:
+        return {"mask"}
+    if terminal in _PASSTHROUGH_METHODS and isinstance(
+        call.func, ast.Attribute
+    ):
+        inner = classify_index_expr(
+            project, graph, module, scopes, call.func.value, depth - 1, stack
+        )
+        if inner <= {"unique", "mask", "scalar"} and inner:
+            return inner
+        return {"unknown"}
+    if terminal in ("asarray", "ascontiguousarray") and call.args:
+        return classify_index_expr(
+            project, graph, module, scopes, call.args[0], depth - 1, stack
+        )
+
+    scope = scopes[0] if scopes else None
+    self_class = scope.class_name if scope is not None else None
+    callee = project.resolve_call(module, call.func, self_class)
+    if callee is None:
+        return {"unknown"}
+    target = project.functions.get(callee)
+    if target is None:
+        return {"unknown"}
+    target_module = project.modules.get(target.module)
+    if target_module is not None:
+        # A helper can assert duplicate-freedom the dataflow cannot see
+        # (e.g. a memo of np.arange results) on its def line.
+        if unique_index_waiver(target_module, target.node.lineno) is not None:
+            return {"unique"}
+    key = (callee, "<return>")
+    if key in stack:
+        return {"unknown"}
+    returns = [
+        node.value
+        for node in ast.walk(target.node)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if not returns:
+        return {"unknown"}
+    out: Set[Label] = set()
+    for value in returns:
+        out |= classify_index_expr(
+            project, graph, target.module, (target,), value,
+            depth - 1, stack | {key},
+        )
+    return out
+
+
+def _classify_binop(
+    project: Project,
+    graph: CallGraph,
+    module: str,
+    scopes: Sequence[FunctionInfo],
+    expr: ast.BinOp,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> Set[Label]:
+    left = classify_index_expr(
+        project, graph, module, scopes, expr.left, depth - 1, stack
+    )
+    right = classify_index_expr(
+        project, graph, module, scopes, expr.right, depth - 1, stack
+    )
+    if isinstance(expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+        if left == {"mask"} and right == {"mask"}:
+            return {"mask"}
+        return {"unknown"}
+    if left == {"scalar"} and right == {"scalar"}:
+        return {"scalar"}
+    if isinstance(expr.op, (ast.Add, ast.Sub)):
+        # Adding a scalar offset to distinct values keeps them distinct.
+        if left == {"unique"} and right == {"scalar"}:
+            return {"unique"}
+        if left == {"scalar"} and right == {"unique"}:
+            return {"unique"}
+    if isinstance(expr.op, ast.Mult):
+        # Scaling by a non-zero literal keeps distinct values distinct.
+        for unique_side, scalar_side in (
+            (left, expr.right), (right, expr.left)
+        ):
+            if (
+                unique_side == {"unique"}
+                and isinstance(scalar_side, ast.Constant)
+                and isinstance(scalar_side.value, (int, float))
+                and scalar_side.value != 0
+            ):
+                return {"unique"}
+    return {"unknown"}

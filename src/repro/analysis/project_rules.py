@@ -6,6 +6,12 @@ the symbol table and call graph (:mod:`repro.analysis.symbols`,
 (:mod:`repro.analysis.dataflow`), the mirror manifest
 (:mod:`repro.analysis.mirrors`), and the effect/provenance layer
 (:mod:`repro.analysis.effects`).
+
+The vectorization-soundness rules R14–R17 subclass :class:`ProjectRule`
+too but live in :mod:`repro.analysis.array_rules` (with their index-
+provenance dataflow in :mod:`repro.analysis.index_flow`);
+:func:`repro.analysis.core.default_rules` appends them after
+:data:`PROJECT_RULES`.
 """
 
 from __future__ import annotations

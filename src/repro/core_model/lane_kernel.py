@@ -321,6 +321,7 @@ def _lane_tracker_geometry(
     return pairs, geo
 
 
+# repro: mirror-exempt[lane-invariant input prepass: builds the shared hit/stack columns both kernels consume; verified by the sanitizer against per-lane replay]
 def _shared_prepass(
     trace: CompiledTrace,
     hierarchy_config: HierarchyConfig,
@@ -677,6 +678,7 @@ def _lane_kernel_dict(
         None if lane.kind == "none" else (False, 0, 0) for lane in lanes
     ]
 
+    # repro: mirror-exempt[degree-register install shared by the mirrored demand paths; twin of the array kernel's apply_arm]
     def apply_arm(i: int, arm_id: int) -> None:
         spec = TABLE7_ARMS[arm_id]
         lane_arm[i] = (
@@ -1295,6 +1297,7 @@ class _BanditLanes:
             if self.pending[i] != self.applied[i] else _INF
         )
 
+    # repro: mirror-exempt[deferred arm swap: dict-path twin lives inside the lane-bandit-step mirror's fire hook]
     def apply_pending(self, i: int) -> None:
         """Deferred cycle-threshold fire: only the arm swap is observable."""
         self.apply_arm(i, self.pending[i])
@@ -1315,6 +1318,8 @@ class _BanditLanes:
 _ARANGE_CACHE: Dict[int, np.ndarray] = {}
 
 
+# repro: unique-index[memoized np.arange: 0..n-1, duplicate-free]
+# repro: mirror-exempt[read-only arange memo; holds no kernel state]
 def _arange(n: int) -> np.ndarray:
     """A cached ``np.arange(n)`` (the kernel re-uses a few small sizes).
 
@@ -1327,6 +1332,7 @@ def _arange(n: int) -> np.ndarray:
     return cached
 
 
+# repro: mirror-exempt[shared set-probe/insert engine of the tagged _fill_llc_rows/_fill_l2_rows transcriptions; a mirror pairs exactly two sides]
 def _fill_rows(
     flat: np.ndarray,
     cflat: np.ndarray,
@@ -1480,7 +1486,11 @@ def _fill_l2_rows(
     # 3 and can never hit, so no occupancy guard is needed here.
     wrong = (victims & 3) == 1
     if wrong.any():
-        st.pf_wrong[rows[wrong]] += 1
+        # ``rows`` is caller-supplied: today every caller passes one row
+        # per lane, but the unbuffered add keeps the accounting correct
+        # (and bit-identical — integer adds commute) if a wave ever
+        # carries a lane twice, matching _fill_llc_rows.
+        np.add.at(st.pf_wrong, rows[wrong], 1)
     dirty = (victims >= 0) & ((victims & 4) != 0)
     if dirty.any():
         drows = rows[dirty]
@@ -1490,6 +1500,7 @@ def _fill_l2_rows(
         )
 
 
+# repro: mirror-exempt[one-block specialization of the tagged _fill_l2_rows; exercised by the sanitizer on every L1 dirty victim]
 def _fill_l2_wb(st: _ArrayState, rows_all: np.ndarray, block: int) -> None:
     """L1 dirty-victim writeback into every lane's L2 at once.
 
@@ -1598,6 +1609,7 @@ class _FillQueue:
             capacity=capacity,
         )
 
+    # repro: mirror-exempt[array-path MSHR storage; dict twin is the per-lane heap inside the lane-demand-path mirror]
     def _compact(self) -> None:
         """Squeeze holes out of every row (stable), resetting ``tail``.
 
@@ -1615,6 +1627,7 @@ class _FillQueue:
         self.tail[:] = self.length
         self.hi = int(self.length.max())
 
+    # repro: mirror-exempt[array-path MSHR storage; dict twin is the per-lane heap inside the lane-demand-path mirror]
     def insert(
         self,
         rows: np.ndarray,
@@ -1634,16 +1647,20 @@ class _FillQueue:
         self.block[rows, pos] = blocks
         if is_pf:
             self.pf[rows, pos] = True
-        # rows are unique, so (row, bucket) pairs are too: plain fancy
-        # += is safe here (unlike the drain's removals).
+        # rows are unique (callers pass at most one fill per lane), so
+        # (row, bucket) pairs are too: plain fancy += is safe here
+        # (unlike the drain's removals).
+        # repro: unique-index[callers pass at most one fill per lane]
         self.tab[rows, blocks & 255] += 1
         self.tail[rows] = pos + 1
-        self.length[rows] += 1
+        self.length[rows] += 1  # repro: unique-index[one fill per lane]
+        # repro: unique-index[one fill per lane]
         self.nfr[rows] = np.minimum(self.nfr[rows], ready_vals)
         new_hi = int(pos.max()) + 1
         if new_hi > self.hi:
             self.hi = new_hi
 
+    # repro: mirror-exempt[array-path MSHR storage; dict twin is the per-lane heap inside the lane-demand-path mirror]
     def insert_many(
         self,
         ready_mat: np.ndarray,
@@ -1696,6 +1713,7 @@ class _FillQueue:
         if new_hi > self.hi:
             self.hi = new_hi
 
+    # repro: mirror-exempt[array-path MSHR storage; dict twin is the per-lane heap inside the lane-demand-path mirror]
     def remove_due(
         self, cycle: Optional[np.ndarray]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -1997,6 +2015,7 @@ def _lane_kernel_array(
     # are cached and recomputed only when a register actually changed.
     deg_dirty = [True]
 
+    # repro: mirror-exempt[degree-register install shared by the mirrored demand paths; twin of the dict kernel's apply_arm]
     def apply_arm(i: int, arm_id: int) -> None:
         spec = TABLE7_ARMS[arm_id]
         reg_nl[i] = 1 if spec.next_line else 0
@@ -2363,6 +2382,9 @@ def _lane_kernel_array(
                             valid[:, 1 + ke:] = (
                                 jd <= reg_sm[:, None]
                             ) & ~dup_sm
+                        # offs is a lane-invariant candidate-offset memo; its
+                        # min() reduces the candidate axis, not the lane axis.
+                        # repro: shared-scalar[cand_cache]
                         cand_cache[ck] = ent = (offs, valid, int(offs.min()))
                     offs, valid, offs_min = ent
                     cv_cols = block + offs

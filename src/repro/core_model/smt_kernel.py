@@ -193,6 +193,7 @@ def run_smt_epochs_kernel(
             # ---------------------------------------------- store drain
             # repro: mirror[smt-drain-stores] begin
             while sq_releases and sq_releases[0][0] <= cycle:
+                # repro: unique-index[heappop yields one scalar thread id]
                 sq_occ[heappop(sq_releases)[1]] -= 1
             # repro: mirror[smt-drain-stores] end
 

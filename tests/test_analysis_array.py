@@ -1,0 +1,415 @@
+"""Tests for the vectorization-soundness rules R14-R17.
+
+Covers the index-provenance classifier behind R14 (scatter aliasing),
+the view-overlap detection of R15, the mirror-scoped lane-coupling rule
+R16, the mirror-coverage rule R17, the ``--format json`` CLI output, and
+the numpy semantics the rules guard against: a seeded duplicate-index
+regression showing fancy ``+=`` silently dropping duplicate lanes where
+``np.add.at`` (and the scalar reference loop) keep the count exact.
+"""
+
+import json
+import textwrap
+
+import numpy as np
+
+from repro.analysis.array_rules import (
+    ARRAY_RULES,
+    LaneCouplingRule,
+    MirrorCoverageRule,
+    ScatterAliasingRule,
+    ViewAliasingRule,
+)
+from repro.analysis.cli import main as cli_main
+from repro.analysis.core import run_analysis
+
+
+def make_tree(tmp_path, files):
+    """Write ``{relative_path: source}`` under ``tmp_path / 'src'``."""
+    for relative, source in files.items():
+        target = tmp_path / "src" / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def lint(tmp_path, rules):
+    return run_analysis([tmp_path / "src"], rules=rules, root=tmp_path)
+
+
+def lines_of(findings, code):
+    return sorted(f.line for f in findings if f.rule == code)
+
+
+# ------------------------------------------------------------------ R14
+
+
+class TestScatterAliasing:
+    def test_unproven_index_is_flagged(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, rows):
+                counts[rows] += 1
+        """})
+        findings = lint(tmp_path, [ScatterAliasingRule()])
+        assert [f.rule for f in findings] == ["R14"]
+        assert "counts[rows]" in findings[0].source_line
+
+    def test_spelled_out_rmw_is_flagged(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, rows):
+                counts[rows] = counts[rows] + 1
+        """})
+        findings = lint(tmp_path, [ScatterAliasingRule()])
+        assert [f.rule for f in findings] == ["R14"]
+
+    def test_flatnonzero_index_is_proven_unique(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, mask):
+                rows = np.flatnonzero(mask)
+                counts[rows] += 1
+        """})
+        assert lint(tmp_path, [ScatterAliasingRule()]) == []
+
+    def test_nonzero_component_traced_through_caller(self, tmp_path):
+        # ``rows`` is only a parameter inside ``_bump``; the proof must
+        # follow it to the call site, where it is ``mask.nonzero()[0]``.
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def _bump(counts, rows):
+                counts[rows] += 1
+
+
+            def step(counts, mask):
+                _bump(counts, mask.nonzero()[0])
+        """})
+        assert lint(tmp_path, [ScatterAliasingRule()]) == []
+
+    def test_boolean_mask_index_is_safe(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, vals):
+                hot = vals > 3
+                counts[hot] += 1
+        """})
+        assert lint(tmp_path, [ScatterAliasingRule()]) == []
+
+    def test_ufunc_at_is_not_flagged(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, rows):
+                np.add.at(counts, rows, 1)
+        """})
+        assert lint(tmp_path, [ScatterAliasingRule()]) == []
+
+    def test_unique_index_waiver(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, rows):
+                # repro: unique-index[one fill per lane by construction]
+                counts[rows] += 1
+        """})
+        assert lint(tmp_path, [ScatterAliasingRule()]) == []
+
+    def test_non_kernel_modules_are_not_audited(self, tmp_path):
+        make_tree(tmp_path, {"helpers.py": """
+            import numpy as np
+
+
+            def scatter(counts, rows):
+                counts[rows] += 1
+        """})
+        assert lint(tmp_path, [ScatterAliasingRule()]) == []
+
+
+# ------------------------------------------------------------------ R15
+
+
+class TestViewAliasing:
+    def test_overlapping_shifted_slices_are_flagged(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def shift(arr):
+                arr[1:] += arr[:-1]
+        """})
+        findings = lint(tmp_path, [ViewAliasingRule()])
+        assert [f.rule for f in findings] == ["R15"]
+
+    def test_disjoint_constant_slices_are_clean(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def shift(arr):
+                arr[:2] += arr[2:4]
+        """})
+        assert lint(tmp_path, [ViewAliasingRule()]) == []
+
+    def test_hoisted_copy_is_clean(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def shift(arr):
+                prev = arr[:-1].copy()
+                arr[1:] += prev
+        """})
+        assert lint(tmp_path, [ViewAliasingRule()]) == []
+
+    def test_alias_through_slice_binding_is_flagged(self, tmp_path):
+        # ``head`` is a live view of ``arr``; the update reads it back
+        # through the binding, not a literal slice of the same name.
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def shift(arr):
+                head = arr[:-1]
+                arr[1:] += head
+        """})
+        findings = lint(tmp_path, [ViewAliasingRule()])
+        assert [f.rule for f in findings] == ["R15"]
+
+
+# ------------------------------------------------------------------ R16
+
+
+class TestLaneCoupling:
+    def test_cross_lane_reduction_into_state_is_flagged(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def step(state, rows, vals):
+                # repro: mirror[toy-step-red] begin
+                state[rows] = vals.sum()
+                # repro: mirror[toy-step-red] end
+        """})
+        findings = lint(tmp_path, [LaneCouplingRule()])
+        assert [f.rule for f in findings] == ["R16"]
+
+    def test_lane_preserving_axis_is_clean(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def step(state, rows, vals):
+                # repro: mirror[toy-step-axis] begin
+                state[rows] = vals.sum(axis=1)
+                # repro: mirror[toy-step-axis] end
+        """})
+        assert lint(tmp_path, [LaneCouplingRule()]) == []
+
+    def test_outside_mirror_regions_is_out_of_scope(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def step(state, rows, vals):
+                state[rows] = vals.sum()
+        """})
+        assert lint(tmp_path, [LaneCouplingRule()]) == []
+
+    def test_shared_scalar_waiver(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def step(state, rows, vals):
+                # repro: mirror[toy-step-waive] begin
+                # repro: shared-scalar[state]
+                state[rows] = vals.sum()
+                # repro: mirror[toy-step-waive] end
+        """})
+        assert lint(tmp_path, [LaneCouplingRule()]) == []
+
+    def test_default_shared_scalar_allowlist(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def step(l2_demand_accesses, hits):
+                # repro: mirror[toy-step-allow] begin
+                l2_demand_accesses += hits.sum()
+                # repro: mirror[toy-step-allow] end
+        """})
+        assert lint(tmp_path, [LaneCouplingRule()]) == []
+
+
+# ------------------------------------------------------------------ R17
+
+
+class TestMirrorCoverage:
+    def test_untagged_state_mutation_is_flagged(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def poke(state):
+                state[0] = 1
+        """})
+        findings = lint(tmp_path, [MirrorCoverageRule()])
+        assert [f.rule for f in findings] == ["R17"]
+
+    def test_def_tag_covers_the_mutation(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            # repro: mirror[toy-poke]
+            def poke(state):
+                state[0] = 1
+        """})
+        assert lint(tmp_path, [MirrorCoverageRule()]) == []
+
+    def test_mirror_exempt_waiver(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            # repro: mirror-exempt[scratch helper with no paired twin]
+            def poke(state):
+                state[0] = 1
+        """})
+        assert lint(tmp_path, [MirrorCoverageRule()]) == []
+
+    def test_locally_created_arrays_are_exempt(self, tmp_path):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def build():
+                buf = np.zeros(4)
+                buf[0] = 1
+                return buf
+        """})
+        assert lint(tmp_path, [MirrorCoverageRule()]) == []
+
+    def test_only_kernel_modules_are_in_scope(self, tmp_path):
+        make_tree(tmp_path, {"helpers.py": """
+            def poke(state):
+                state[0] = 1
+        """})
+        assert lint(tmp_path, [MirrorCoverageRule()]) == []
+
+
+# ----------------------------------------------------------- CLI format
+
+
+class TestJsonFormat:
+    def test_json_report_round_trips(self, tmp_path, capsys):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            def scatter(counts, rows):
+                counts[rows] += 1
+        """})
+        rc = cli_main([
+            str(tmp_path / "src"), "--root", str(tmp_path),
+            "--select", "R14", "--format", "json",
+        ])
+        assert rc == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["new"] == 1
+        assert document["baselined"] == 0
+        assert document["counts"]["R14"] == {"new": 1, "baselined": 0}
+        (finding,) = document["findings"]
+        assert finding["rule"] == "R14"
+        assert finding["baselined"] is False
+        assert finding["path"].endswith("toy_kernel.py")
+        assert "counts[rows]" in finding["source_line"]
+
+    def test_json_report_clean_exit(self, tmp_path, capsys):
+        make_tree(tmp_path, {"toy_kernel.py": """
+            import numpy as np
+
+
+            # repro: mirror[toy-scatter]
+            def scatter(counts, rows):
+                np.add.at(counts, rows, 1)
+        """})
+        rc = cli_main([
+            str(tmp_path / "src"), "--root", str(tmp_path),
+            "--select", "R14,R15,R16,R17", "--format", "json",
+        ])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["new"] == 0
+        assert document["findings"] == []
+        assert {r["code"] for r in document["rules"]} == {
+            "R14", "R15", "R16", "R17",
+        }
+
+
+# ------------------------------------------ numpy scatter semantics
+
+
+class TestDuplicateScatterRegression:
+    """The runtime hazard R14 exists to catch, on a crafted lane batch.
+
+    ``_fill_l2_rows``-style accounting: a wave of fills carries one row
+    per lane *today*, but if a batch ever repeats a lane, buffered fancy
+    ``+=`` silently drops every duplicate while ``np.add.at`` matches the
+    scalar reference loop bit-for-bit.
+    """
+
+    ROWS = np.array([0, 3, 3, 3, 1, 0], dtype=np.intp)
+    VICTIMS = np.array([5, 9, 13, 4, 1, 21], dtype=np.int64)
+
+    def scalar_reference(self):
+        pf_wrong = np.zeros(4, dtype=np.int64)
+        for row, victim in zip(self.ROWS, self.VICTIMS):
+            if (victim & 3) == 1:
+                pf_wrong[row] += 1
+        return pf_wrong
+
+    def test_buffered_fancy_add_drops_duplicates(self):
+        wrong = (self.VICTIMS & 3) == 1
+        pf_wrong = np.zeros(4, dtype=np.int64)
+        pf_wrong[self.ROWS[wrong]] += 1
+        reference = self.scalar_reference()
+        # Row 3 takes two wrong-path victims (9 and 13); the buffered
+        # gather-modify-scatter applies only one of them.
+        assert reference[3] == 2
+        assert pf_wrong[3] == 1
+        assert not np.array_equal(pf_wrong, reference)
+
+    def test_unbuffered_add_at_matches_scalar_loop(self):
+        wrong = (self.VICTIMS & 3) == 1
+        pf_wrong = np.zeros(4, dtype=np.int64)
+        np.add.at(pf_wrong, self.ROWS[wrong], 1)
+        assert np.array_equal(pf_wrong, self.scalar_reference())
+
+    def test_unique_rows_make_both_forms_agree(self):
+        # The kernels' waivered sites rely on exactly this: with one
+        # fill per lane the buffered and unbuffered forms coincide.
+        rows = np.array([2, 0, 3], dtype=np.intp)
+        buffered = np.zeros(4, dtype=np.int64)
+        buffered[rows] += 1
+        exact = np.zeros(4, dtype=np.int64)
+        np.add.at(exact, rows, 1)
+        assert np.array_equal(buffered, exact)
+
+
+def test_array_rules_registered():
+    codes = [rule.code for rule in ARRAY_RULES]
+    assert codes == ["R14", "R15", "R16", "R17"]
