@@ -20,6 +20,7 @@ across pytest invocations); ``REPRO_BENCH_JOBS`` fans replays out over a
 process pool. Both default to the deterministic serial behaviour.
 """
 
+import itertools
 import os
 from pathlib import Path
 
@@ -38,7 +39,16 @@ def bench_scale() -> float:
 
 
 def scaled(value: int, minimum: int = 1) -> int:
-    return max(minimum, int(value * bench_scale()))
+    """``value`` scaled by ``REPRO_BENCH_SCALE``, rounded to the nearest int.
+
+    Rounds (banker's rounding via :func:`round`) rather than truncates, so a
+    fractional scale shrinks small step/epoch counts consistently across
+    benchmarks — ``scaled(5)`` at scale 0.5 is 2, not the 2-vs-1 lottery
+    truncation made of nearby counts. The result never drops below
+    ``minimum`` (default 1): every loop still executes at least once no
+    matter how small the scale.
+    """
+    return max(minimum, round(value * bench_scale()))
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -71,17 +81,44 @@ def bench_rounds() -> int:
 
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, experiment_context, tmp_path_factory):
     """Run the experiment once per round under pytest-benchmark timing.
 
     One round by default; ``REPRO_BENCH_ROUNDS`` repeats the timed region
     (baseline re-recording), returning the last round's result.
+
+    Multi-round honesty: the session-wide *result* cache would satisfy
+    rounds 2..N instantly (near-zero means, bogus stddev — exactly the
+    variance data the significance gate consumes), so each timed round
+    starts from a fresh, empty result cache. Compiled *traces* stay warm
+    across rounds on purpose: trace generation is setup, not the measured
+    replay. The session cache is restored afterwards so later benchmarks
+    keep sharing recurring replays (e.g. the no-prefetch baselines).
     """
     rounds = bench_rounds()
 
     def runner(func, *args, **kwargs):
-        return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                                  rounds=rounds, iterations=1,
-                                  warmup_rounds=0)
+        if rounds == 1:
+            return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                      rounds=1, iterations=1,
+                                      warmup_rounds=0)
+        session_cache = experiment_context.cache
+        round_dir = tmp_path_factory.mktemp("round-caches")
+        counter = itertools.count()
+
+        def fresh_cache():
+            # Untimed per-round setup (pytest-benchmark calls it before
+            # every round): swap in an empty result cache so the round
+            # re-executes every replay instead of reading round 1's results.
+            experiment_context.cache = ResultCache(
+                round_dir / f"r{next(counter)}"
+            )
+
+        try:
+            return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                      setup=fresh_cache, rounds=rounds,
+                                      iterations=1, warmup_rounds=0)
+        finally:
+            experiment_context.cache = session_cache
 
     return runner

@@ -4,6 +4,8 @@
 - :mod:`repro.experiments.prefetch` — single-/multi-core prefetching runners.
 - :mod:`repro.experiments.smt` — SMT fetch PG policy runners.
 - :mod:`repro.experiments.figures` — one entry point per paper table/figure.
+- :mod:`repro.experiments.matrix` — declarative scenario-matrix engine
+  (axis grids + include/exclude filters expanded to frozen task lists).
 - :mod:`repro.experiments.runner` — parallel task execution, result cache,
   telemetry.
 - :mod:`repro.experiments.reporting` — text-table formatting helpers.
@@ -15,6 +17,14 @@ from repro.experiments.configs import (
     PREFETCH_BANDIT_CONFIG,
     SMT_BANDIT_TABLE6,
     prefetch_bandit_algorithm,
+)
+from repro.experiments.matrix import (
+    MatrixRow,
+    MatrixSpec,
+    expand,
+    prefetch_matrix_tasks,
+    run_prefetch_matrix,
+    smt_matrix_tasks,
 )
 from repro.experiments.prefetch import (
     PrefetchRunResult,
@@ -42,10 +52,16 @@ from repro.experiments.smt import (
 
 __all__ = [
     "ExecutionContext",
+    "MatrixRow",
+    "MatrixSpec",
     "ResultCache",
     "RunTelemetry",
     "Task",
+    "expand",
+    "prefetch_matrix_tasks",
     "run_parallel",
+    "run_prefetch_matrix",
+    "smt_matrix_tasks",
     "use_context",
     "ALT_HIERARCHY_CONFIG",
     "BASELINE_HIERARCHY_CONFIG",

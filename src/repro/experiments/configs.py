@@ -87,6 +87,24 @@ SMT_CONFIG_TABLE5 = SMTConfig(
 #: The 11 prefetching arms of Table 7.
 PREFETCH_ARMS = TABLE7_ARMS
 
+#: The comparator prefetchers of Figures 8/9/11/14, in the paper's order.
+PREFETCHER_LINEUP = ("stride", "bingo", "mlop", "pythia")
+
+#: Row labels of the Table 8/9 algorithm lineups, in table order. Also the
+#: algorithm-scenario vocabulary of the matrix engine.
+TABLE8_ALGORITHM_NAMES = ("Single", "Periodic", "eGreedy", "UCB", "DUCB")
+
+#: Bandit steps targeted per trace at reproduction scale. The paper runs
+#: thousands of 1,000-L2-access steps over 1 B instructions; our traces are
+#: orders of magnitude shorter, so the step length is scaled to preserve the
+#: *number* of learning opportunities rather than the absolute step size.
+TARGET_BANDIT_STEPS = 200
+
+#: DUCB forgetting factor at reproduction scale. Table 6's γ=0.999 encodes a
+#: ~1000-step horizon out of ~30k steps; with ~80-step episodes the
+#: equivalent horizon is a few tens of steps, hence γ≈0.98.
+SCALED_GAMMA = 0.98
+
 
 @dataclass(frozen=True)
 class PrefetchBanditParams:
@@ -103,6 +121,24 @@ class PrefetchBanditParams:
 
 
 PREFETCH_BANDIT_CONFIG = PrefetchBanditParams()
+
+
+def scaled_prefetch_params(
+    l2_demand_accesses: int,
+    target_steps: int = TARGET_BANDIT_STEPS,
+) -> PrefetchBanditParams:
+    """Prefetch bandit params with step and γ scaled to the trace length.
+
+    The step length is derived from a no-prefetch baseline pass so that
+    every trace yields roughly ``target_steps`` learning opportunities
+    (floor 25 L2 accesses per step to keep reward estimates meaningful).
+    """
+    from dataclasses import replace as dc_replace
+
+    step = max(25, l2_demand_accesses // target_steps)
+    return dc_replace(
+        PREFETCH_BANDIT_CONFIG, step_l2_accesses=step, gamma=SCALED_GAMMA
+    )
 
 
 def prefetch_bandit_algorithm(
@@ -131,7 +167,7 @@ def table8_algorithm_lineup(
     """The §7.1 algorithm lineup of Table 8, keyed by its row labels.
 
     ``gamma`` is a parameter because reproduction-scale runs shrink the
-    DUCB horizon with the episode (see ``figures.SCALED_GAMMA``).
+    DUCB horizon with the episode (see :data:`SCALED_GAMMA`).
     """
     from repro.bandit.epsilon_greedy import EpsilonGreedy
     from repro.bandit.heuristics import Periodic, Single

@@ -27,7 +27,16 @@ from repro.experiments.configs import (
     ALT_HIERARCHY_CONFIG,
     BASELINE_HIERARCHY_CONFIG,
     PREFETCH_BANDIT_CONFIG,
+    PREFETCHER_LINEUP,
+    SCALED_GAMMA,
+    TABLE8_ALGORITHM_NAMES,
+    scaled_prefetch_params,
     table8_algorithm_lineup,
+)
+from repro.experiments.matrix import (
+    MatrixSpec,
+    prefetch_matrix_tasks,
+    smt_matrix_tasks,
 )
 from repro.experiments.prefetch import (
     best_static_arm,
@@ -37,7 +46,6 @@ from repro.experiments.prefetch import (
 from repro.experiments.runner import (
     Task,
     bandit_prefetch_task,
-    best_static_arm_tasks,
     fixed_prefetcher_task,
     lane_batch_task,
     multicore_bandit_task,
@@ -80,29 +88,12 @@ from repro.workloads.suites import (
 #: Default trace length (memory accesses) for prefetching experiments.
 DEFAULT_TRACE_LENGTH = 30_000
 
-#: The five prefetchers of Figures 8/9/11/14, in the paper's order.
-PREFETCHER_LINEUP = ("stride", "bingo", "mlop", "pythia")
+# PREFETCHER_LINEUP / TARGET_BANDIT_STEPS / SCALED_GAMMA moved to
+# repro.experiments.configs (the matrix engine needs them without importing
+# this module); re-imported above for back-compat.
 
-#: Bandit steps targeted per trace at reproduction scale. The paper runs
-#: thousands of 1,000-L2-access steps over 1 B instructions; our traces are
-#: orders of magnitude shorter, so the step length is scaled to preserve the
-#: *number* of learning opportunities rather than the absolute step size.
-TARGET_BANDIT_STEPS = 200
-
-#: DUCB forgetting factor at reproduction scale. Table 6's γ=0.999 encodes a
-#: ~1000-step horizon out of ~30k steps; with ~80-step episodes the
-#: equivalent horizon is a few tens of steps, hence γ≈0.98.
-SCALED_GAMMA = 0.98
-
-
-def _scaled_params(l2_demand_accesses: int, target_steps: int = TARGET_BANDIT_STEPS):
-    """Prefetch bandit params with step and γ scaled to the trace length."""
-    from dataclasses import replace as dc_replace
-
-    step = max(25, l2_demand_accesses // target_steps)
-    return dc_replace(
-        PREFETCH_BANDIT_CONFIG, step_l2_accesses=step, gamma=SCALED_GAMMA
-    )
+#: Back-compat alias — tests and older callers import the underscore name.
+_scaled_params = scaled_prefetch_params
 
 
 def _num_arms() -> int:
@@ -215,35 +206,46 @@ def table08_prefetch_tuneset(
     """min/max/gmean IPC as % of the best static arm (prefetching tune set)."""
     if workloads is None:
         workloads = tune_specs()
-    algorithm_names = ("Single", "Periodic", "eGreedy", "UCB", "DUCB")
-    bases = run_parallel([
-        Task(
-            fixed_prefetcher_task,
-            dict(spec_name=spec.name, trace_length=trace_length, seed=seed),
-            label=f"table08:{spec.name}:none",
-        )
-        for spec in workloads
-    ])
-    tasks: List[Task] = []
-    for spec, base in zip(workloads, bases):
-        params = _scaled_params(base.stats.l2_demand_accesses)
-        tasks.extend(best_static_arm_tasks(spec.name, trace_length, seed=seed))
-        tasks.append(Task(
-            fixed_prefetcher_task,
-            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
-                 prefetcher_name="pythia"),
-            label=f"table08:{spec.name}:pythia",
-        ))
-        tasks.extend(
-            Task(
-                bandit_prefetch_task,
-                dict(spec_name=spec.name, trace_length=trace_length,
-                     params=params, seed=seed, algorithm_name=name,
-                     algorithm_gamma=SCALED_GAMMA),
-                label=f"table08:{spec.name}:{name}",
-            )
-            for name in algorithm_names
-        )
+    algorithm_names = TABLE8_ALGORITHM_NAMES
+    workload_names = tuple(spec.name for spec in workloads)
+    arm_scenarios = tuple(f"arm{arm}" for arm in range(_num_arms()))
+    spec_matrix = MatrixSpec.build(axes={
+        "workload": workload_names,
+        "scenario": arm_scenarios + ("pythia",) + algorithm_names,
+    })
+    bases = run_parallel(prefetch_matrix_tasks(
+        MatrixSpec.build(axes={"workload": workload_names,
+                               "scenario": ("none",)}),
+        trace_length=trace_length,
+        seed=seed,
+        label_prefix="table08",
+    ))
+    params_by_workload = {
+        name: _scaled_params(base.stats.l2_demand_accesses)
+        for name, base in zip(workload_names, bases)
+    }
+
+    def _label(point) -> str:
+        workload, scenario = point["workload"], point["scenario"]
+        if str(scenario).startswith("arm"):
+            # best_static_arm_tasks' historical label scheme (unprefixed).
+            return f"{workload}:{scenario}"
+        return f"table08:{workload}:{scenario}"
+
+    tasks = prefetch_matrix_tasks(
+        spec_matrix,
+        trace_length=trace_length,
+        seed=seed,
+        params_for=lambda point: params_by_workload[str(point["workload"])],
+        label_for=_label,
+        # Arm replays historically pin the Table 4 hierarchy explicitly;
+        # the other scenarios rely on the worker default.
+        hierarchy_for=lambda point: (
+            BASELINE_HIERARCHY_CONFIG
+            if str(point["scenario"]).startswith("arm") else None
+        ),
+        algorithm_gamma=SCALED_GAMMA,
+    )
     results = iter(run_parallel(tasks))
     ratios: Dict[str, List[float]] = {
         name: [] for name in ("Pythia",) + algorithm_names
@@ -270,35 +272,18 @@ def table09_smt_tuneset(
 ) -> Dict[str, Summary]:
     """min/max/gmean IPC as % of the best static arm (SMT tune set)."""
     mixes = smt_tune_mixes()[:num_mixes]
-    algorithm_names = ("Single", "Periodic", "eGreedy", "UCB", "DUCB")
-    tasks: List[Task] = []
-    for mix in mixes:
-        names = (mix[0].name, mix[1].name)
-        mix_label = f"{names[0]}-{names[1]}"
-        tasks.extend(
-            Task(
-                smt_static_task,
-                dict(thread_names=names, policy_mnemonic=arm.mnemonic,
-                     scale=scale, seed=seed),
-                label=f"table09:{mix_label}:arm{index}",
-            )
-            for index, arm in enumerate(BANDIT_PG_ARMS)
-        )
-        tasks.append(Task(
-            smt_static_task,
-            dict(thread_names=names, policy_mnemonic=CHOI_POLICY.mnemonic,
-                 scale=scale, seed=seed),
-            label=f"table09:{mix_label}:choi",
-        ))
-        tasks.extend(
-            Task(
-                smt_bandit_task,
-                dict(thread_names=names, scale=scale, algorithm_name=name,
-                     seed=seed),
-                label=f"table09:{mix_label}:{name}",
-            )
-            for name in algorithm_names
-        )
+    algorithm_names = TABLE8_ALGORITHM_NAMES
+    mix_labels = tuple(f"{mix[0].name}-{mix[1].name}" for mix in mixes)
+    arm_scenarios = tuple(f"arm{i}" for i in range(len(BANDIT_PG_ARMS)))
+    tasks = smt_matrix_tasks(
+        MatrixSpec.build(axes={
+            "workload": mix_labels,
+            "scenario": arm_scenarios + ("choi",) + algorithm_names,
+        }),
+        scale=scale,
+        seed=seed,
+        label_prefix="table09",
+    )
     results = iter(run_parallel(tasks))
     ratios: Dict[str, List[float]] = {
         name: [] for name in ("Choi",) + algorithm_names
@@ -397,34 +382,31 @@ def fig08_singlecore(
         suites = list(ALL_SUITES)
     lineup = list(PREFETCHER_LINEUP) + ["bandit"]
     members = [(suite, spec) for suite in suites for spec in ALL_SUITES[suite]]
-    bases = run_parallel([
-        Task(
-            fixed_prefetcher_task,
-            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
-                 hierarchy_config=hierarchy_config),
-            label=f"fig08:{spec.name}:none",
-        )
-        for _, spec in members
-    ])
-    tasks: List[Task] = []
-    for (_, spec), base in zip(members, bases):
-        params = _scaled_params(base.stats.l2_demand_accesses)
-        tasks.extend(
-            Task(
-                fixed_prefetcher_task,
-                dict(spec_name=spec.name, trace_length=trace_length,
-                     seed=seed, prefetcher_name=name,
-                     hierarchy_config=hierarchy_config),
-                label=f"fig08:{spec.name}:{name}",
-            )
-            for name in PREFETCHER_LINEUP
-        )
-        tasks.append(Task(
-            bandit_prefetch_task,
-            dict(spec_name=spec.name, trace_length=trace_length,
-                 params=params, seed=seed, hierarchy_config=hierarchy_config),
-            label=f"fig08:{spec.name}:bandit",
-        ))
+    member_names = tuple(spec.name for _, spec in members)
+    spec_matrix = MatrixSpec.build(
+        axes={"workload": member_names, "scenario": tuple(lineup)},
+    )
+    base_tasks = prefetch_matrix_tasks(
+        MatrixSpec.build(axes={"workload": member_names,
+                               "scenario": ("none",)}),
+        trace_length=trace_length,
+        seed=seed,
+        hierarchy_for=lambda point: hierarchy_config,
+        label_prefix="fig08",
+    )
+    bases = run_parallel(base_tasks)
+    params_by_workload = {
+        name: _scaled_params(base.stats.l2_demand_accesses)
+        for name, base in zip(member_names, bases)
+    }
+    tasks = prefetch_matrix_tasks(
+        spec_matrix,
+        trace_length=trace_length,
+        seed=seed,
+        params_for=lambda point: params_by_workload[str(point["workload"])],
+        hierarchy_for=lambda point: hierarchy_config,
+        label_prefix="fig08",
+    )
     results = iter(run_parallel(tasks))
     per_suite: Dict[str, Dict[str, List[float]]] = {
         suite: {name: [] for name in lineup} for suite in suites
@@ -546,35 +528,48 @@ def fig10_bandwidth_sweep(
 
     if workloads is None:
         workloads = tune_specs()
+    workload_names = tuple(spec.name for spec in workloads)
     points = [
         (dc_replace(BASELINE_HIERARCHY_CONFIG, dram_mtps=mtps), spec)
         for mtps in mtps_values
         for spec in workloads
     ]
-    bases = run_parallel([
-        Task(
-            fixed_prefetcher_task,
-            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
-                 hierarchy_config=config),
-            label=f"fig10:{config.dram_mtps:g}:{spec.name}:none",
+
+    def _hierarchy(point) -> HierarchyConfig:
+        return dc_replace(
+            BASELINE_HIERARCHY_CONFIG, dram_mtps=float(point["dram_mtps"])
         )
-        for config, spec in points
-    ])
-    tasks: List[Task] = []
-    for (config, spec), base in zip(points, bases):
-        params = _scaled_params(base.stats.l2_demand_accesses)
-        tasks.append(Task(
-            fixed_prefetcher_task,
-            dict(spec_name=spec.name, trace_length=trace_length, seed=seed,
-                 prefetcher_name="pythia", hierarchy_config=config),
-            label=f"fig10:{config.dram_mtps:g}:{spec.name}:pythia",
-        ))
-        tasks.append(Task(
-            bandit_prefetch_task,
-            dict(spec_name=spec.name, trace_length=trace_length,
-                 params=params, seed=seed, hierarchy_config=config),
-            label=f"fig10:{config.dram_mtps:g}:{spec.name}:bandit",
-        ))
+
+    bases = run_parallel(prefetch_matrix_tasks(
+        MatrixSpec.build(axes={
+            "dram_mtps": tuple(mtps_values),
+            "workload": workload_names,
+            "scenario": ("none",),
+        }),
+        trace_length=trace_length,
+        seed=seed,
+        hierarchy_for=_hierarchy,
+        label_prefix="fig10",
+    ))
+    params_by_point = {
+        (config.dram_mtps, spec.name):
+            _scaled_params(base.stats.l2_demand_accesses)
+        for (config, spec), base in zip(points, bases)
+    }
+    tasks = prefetch_matrix_tasks(
+        MatrixSpec.build(axes={
+            "dram_mtps": tuple(mtps_values),
+            "workload": workload_names,
+            "scenario": ("pythia", "bandit"),
+        }),
+        trace_length=trace_length,
+        seed=seed,
+        params_for=lambda point: params_by_point[
+            (float(point["dram_mtps"]), str(point["workload"]))
+        ],
+        hierarchy_for=_hierarchy,
+        label_prefix="fig10",
+    )
     results = iter(run_parallel(tasks))
     ratios: Dict[float, Dict[str, List[float]]] = {
         mtps: {"pythia": [], "bandit": []} for mtps in mtps_values

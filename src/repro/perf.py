@@ -10,14 +10,15 @@ Two small tools that keep the hot-path replay engine honest:
 ``compare_benchmarks`` / ``python -m repro.perf``
     Compare a freshly produced ``pytest-benchmark`` JSON file against a
     committed baseline (``BENCH_PR3.json``-style) and fail when any shared
-    benchmark regressed by more than ``--max-regression`` (default 20%).
-    CI runs this after the benchmark smoke job.
+    benchmark regressed beyond ``max(--max-regression, --stddev-k·stddev)``
+    of the baseline mean — slowdowns inside a multi-round baseline's own
+    noise band pass. CI runs this after the benchmark smoke job.
 
 ``python -m repro.perf --history BENCH_*.json``
     Print the performance trajectory across the committed baselines, in
-    filename order: every benchmark's mean (with its spread when the
-    baseline recorded more than one round) plus each file's same-tree
-    speedup summary.
+    PR order (numeric ``BENCH_PR<N>`` suffix): every benchmark's mean
+    (with its spread when the baseline recorded more than one round) plus
+    each file's same-tree speedup summary.
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ import argparse
 import cProfile
 import json
 import pstats
+import re
 import sys
 import time
 from dataclasses import dataclass
@@ -35,6 +37,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 #: Default regression tolerance: a benchmark may be up to 20% slower than
 #: its committed baseline before the gate fails.
 DEFAULT_MAX_REGRESSION = 0.20
+
+#: Default significance multiplier: against a multi-round baseline the gate
+#: allows ``max(max_regression·mean, stddev_k·stddev)`` of slowdown, so a
+#: noisy benchmark is judged by its own recorded spread rather than a bare
+#: ratio. 3σ keeps the false-failure rate of a well-behaved benchmark low.
+DEFAULT_STDDEV_K = 3.0
 
 #: Number of functions kept in each JSON profile summary table.
 PROFILE_TOP_FUNCTIONS = 25
@@ -162,15 +170,22 @@ def compare_benchmarks(
     baseline_path: str | Path,
     current_path: str | Path,
     max_regression: float = DEFAULT_MAX_REGRESSION,
+    stddev_k: float = DEFAULT_STDDEV_K,
 ) -> Tuple[bool, List[str]]:
     """Compare benchmark means; returns ``(ok, report lines)``.
 
-    A shared benchmark fails when ``current > baseline * (1 + max_regression)``
-    (a 0s-vs-0s pair counts as unchanged). Benchmarks *new* in the current
-    run have no baseline yet and only report; benchmarks the baseline lists
-    but the current run lacks fail the gate — a silently skipped benchmark
-    is a gate bypass, not a pass. A single-round baseline (no variance
-    information) *warns* rather than fails: its verdicts still gate, but
+    Variance-aware gate: a shared benchmark fails when the current mean
+    exceeds ``baseline + max(max_regression·baseline, stddev_k·stddev)`` —
+    the fixed tolerance *or* ``stddev_k`` standard deviations of the
+    multi-round baseline, whichever is larger. A slowdown inside the
+    baseline's own recorded noise band therefore passes even when the bare
+    ratio crosses ``1 + max_regression``, and the per-benchmark report line
+    prints the effective limit actually applied. (A 0s-vs-0s pair counts
+    as unchanged.) Benchmarks *new* in the current run have no baseline yet
+    and only report; benchmarks the baseline lists but the current run
+    lacks fail the gate — a silently skipped benchmark is a gate bypass,
+    not a pass. A single-round baseline (no variance information) falls
+    back to the bare-ratio gate and *warns*: its verdicts still gate, but
     the report says how little the mean is backed by.
     """
     baseline = load_benchmark_stats(baseline_path)
@@ -190,6 +205,11 @@ def compare_benchmarks(
         else:
             ratio = float("inf")
         limit = 1.0 + max_regression
+        stddev = baseline[name].stddev
+        if base > 0 and stddev is not None and not baseline[name].single_round:
+            # Significance slack: a multi-round baseline is judged by its
+            # own spread when that is wider than the fixed tolerance.
+            limit = max(limit, (base + stddev_k * stddev) / base)
         status = "ok" if ratio <= limit else "REGRESSION"
         if status != "ok":
             ok = False
@@ -224,18 +244,42 @@ def compare_benchmarks(
     return ok, lines
 
 
+_BENCH_PR_NAME = re.compile(r"BENCH_PR(\d+)\.json\Z")
+
+
+def _history_sort_key(path: Path) -> Tuple[Any, ...]:
+    """Chronological ordering key for committed baseline files.
+
+    Conforming ``BENCH_PR<N>.json`` names sort by the numeric PR suffix —
+    lexicographic ordering would scramble the trajectory the moment a
+    two-digit PR lands (``BENCH_PR10`` < ``BENCH_PR3``). Non-conforming
+    names sort after all conforming ones, by natural sort (digit runs
+    compared numerically) so e.g. ``bench-run2`` < ``bench-run10``.
+    """
+    match = _BENCH_PR_NAME.match(path.name)
+    if match:
+        return (0, int(match.group(1)), path.name)
+    tokens = tuple(
+        (0, int(tok)) if tok.isdigit() else (1, tok)
+        for tok in re.split(r"(\d+)", path.name)
+        if tok
+    )
+    return (1, tokens, path.name)
+
+
 def history_report(paths: List[str | Path]) -> List[str]:
     """The committed-baseline trajectory, one block per file.
 
-    Files are ordered by name (``BENCH_PR3.json`` < ``BENCH_PR6.json`` <
-    ``BENCH_PR8.json``), so the blocks read as the optimisation history of
+    Files are ordered by their numeric PR suffix (``BENCH_PR3.json`` <
+    ``BENCH_PR6.json`` < ``BENCH_PR10.json``; non-conforming names follow,
+    natural-sorted), so the blocks read as the optimisation history of
     the repo. Each block lists the file's same-tree speedup summary (the
     ``comparison`` object the committed baselines carry) and every
     benchmark's mean — with its spread when the baseline recorded more
     than one round, and an explicit variance caveat when it did not.
     """
     lines: List[str] = []
-    for path in sorted((Path(p) for p in paths), key=lambda p: p.name):
+    for path in sorted((Path(p) for p in paths), key=_history_sort_key):
         with open(path) as handle:
             payload = json.load(handle)
         lines.append(f"{path.name}:")
@@ -273,6 +317,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default %(default)s = 20%%)",
     )
     parser.add_argument(
+        "--stddev-k", type=float, default=DEFAULT_STDDEV_K,
+        help="significance multiplier: allow up to K baseline standard "
+        "deviations of slowdown when that exceeds --max-regression "
+        "(default %(default)s; only applies to multi-round baselines)",
+    )
+    parser.add_argument(
         "--history", nargs="+", metavar="BENCH_JSON",
         help="print the mean/stddev/speedup trajectory across the given "
         "committed baselines (filename order) instead of gating",
@@ -289,7 +339,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--baseline and --current are required "
                      "(or use --history)")
     ok, lines = compare_benchmarks(
-        args.baseline, args.current, max_regression=args.max_regression
+        args.baseline, args.current,
+        max_regression=args.max_regression,
+        stddev_k=args.stddev_k,
     )
     for line in lines:
         print(line)

@@ -1,0 +1,318 @@
+"""Tests for the declarative scenario-matrix engine."""
+
+import pytest
+
+from repro.experiments.configs import (
+    BASELINE_HIERARCHY_CONFIG,
+    PREFETCH_BANDIT_CONFIG,
+    PREFETCHER_LINEUP,
+    SCALED_GAMMA,
+    TABLE8_ALGORITHM_NAMES,
+)
+from repro.experiments.matrix import (
+    MatrixSpec,
+    default_label,
+    expand,
+    expand_workload_values,
+    matrix_size,
+    prefetch_matrix_tasks,
+    prefetch_task_for_point,
+    run_prefetch_matrix,
+    smt_task_for_point,
+)
+from repro.experiments.runner import (
+    Task,
+    bandit_prefetch_task,
+    best_static_arm_tasks,
+    fixed_prefetcher_task,
+    smt_static_task,
+    task_key,
+)
+
+
+class TestExpansion:
+    def test_product_count_and_order(self):
+        spec = MatrixSpec.build(axes={
+            "workload": ("a", "b"),
+            "scenario": ("none", "stride", "bandit"),
+        })
+        points = expand(spec)
+        assert len(points) == 6
+        assert matrix_size(spec) == 6
+        # Last axis varies fastest; first axis is the outer loop.
+        assert [(p["workload"], p["scenario"]) for p in points] == [
+            ("a", "none"), ("a", "stride"), ("a", "bandit"),
+            ("b", "none"), ("b", "stride"), ("b", "bandit"),
+        ]
+
+    def test_expansion_is_deterministic(self):
+        spec = MatrixSpec.build(
+            axes={"x": (1, 2, 3), "y": ("p", "q")},
+            exclude=[{"x": 2, "y": "q"}],
+            include=[{"x": 9, "y": "r"}],
+        )
+        assert expand(spec) == expand(spec)
+
+    def test_exclude_matches_partial_assignments(self):
+        spec = MatrixSpec.build(
+            axes={"x": (1, 2), "y": ("p", "q")},
+            exclude=[{"x": 2}],
+        )
+        assert [(p["x"], p["y"]) for p in expand(spec)] == [
+            (1, "p"), (1, "q"),
+        ]
+
+    def test_include_appends_after_product(self):
+        spec = MatrixSpec.build(
+            axes={"x": (1,), "y": ("p",)},
+            include=[{"x": 7, "y": "extra"}],
+        )
+        points = expand(spec)
+        assert points[-1] == {"x": 7, "y": "extra"}
+        assert len(points) == 2
+
+    def test_include_is_exempt_from_exclude(self):
+        spec = MatrixSpec.build(
+            axes={"x": (1, 2), "y": ("p",)},
+            exclude=[{"x": 2}],
+            include=[{"x": 2, "y": "p"}],
+        )
+        # The product's (2, p) is excluded; the explicit include re-adds it.
+        assert [(p["x"], p["y"]) for p in expand(spec)] == [
+            (1, "p"), (2, "p"),
+        ]
+
+    def test_duplicate_include_point_rejected(self):
+        spec = MatrixSpec.build(
+            axes={"x": (1,), "y": ("p",)},
+            include=[{"x": 1, "y": "p"}],
+        )
+        with pytest.raises(ValueError, match="duplicates"):
+            expand(spec)
+
+
+class TestSpecValidation:
+    def test_unknown_exclude_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            MatrixSpec.build(axes={"x": (1,)}, exclude=[{"nope": 1}])
+
+    def test_exclude_value_off_axis_rejected(self):
+        with pytest.raises(ValueError, match="never match"):
+            MatrixSpec.build(axes={"x": (1, 2)}, exclude=[{"x": 3}])
+
+    def test_include_must_assign_every_axis(self):
+        with pytest.raises(ValueError, match="every axis"):
+            MatrixSpec.build(
+                axes={"x": (1,), "y": ("p",)}, include=[{"x": 1}]
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            MatrixSpec.build(axes={"x": ()})
+
+    def test_duplicate_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            MatrixSpec.build(axes={"x": (1, 1)})
+
+    def test_from_dict_round_trip(self):
+        spec = MatrixSpec.from_dict({
+            "axes": {"x": [1, 2], "y": ["p"]},
+            "exclude": [{"x": 2}],
+        })
+        assert [(p["x"], p["y"]) for p in expand(spec)] == [(1, "p")]
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown matrix spec keys"):
+            MatrixSpec.from_dict({"axes": {"x": [1]}, "exclud": []})
+
+    def test_without_axes_projects(self):
+        spec = MatrixSpec.build(axes={"x": (1, 2), "y": ("p", "q")})
+        sub = spec.without_axes("y")
+        assert sub.axis_names == ("x",)
+        assert matrix_size(sub) == 2
+
+    def test_without_axes_refuses_filtered_axis(self):
+        spec = MatrixSpec.build(
+            axes={"x": (1, 2), "y": ("p", "q")}, exclude=[{"y": "q"}]
+        )
+        with pytest.raises(ValueError, match="mentions"):
+            spec.without_axes("y")
+
+    def test_suite_values_expand(self):
+        names = expand_workload_values(("suite:SPEC06", "extra"))
+        assert "milc06" in names
+        assert names[-1] == "extra"
+        with pytest.raises(ValueError, match="unknown suite"):
+            expand_workload_values(("suite:NOPE",))
+        with pytest.raises(ValueError, match="repeats"):
+            expand_workload_values(("suite:SPEC06", "milc06"))
+
+
+class TestScenarioBinding:
+    """Matrix-built tasks must be frozen-config identical to the
+    hand-enumerated fanouts they replace — same fn, kwargs, label, and
+    cache key."""
+
+    def _assert_same_tasks(self, built, expected):
+        assert len(built) == len(expected)
+        for task_built, task_expected in zip(built, expected):
+            assert task_built.fn is task_expected.fn
+            assert task_built.kwargs == task_expected.kwargs
+            assert task_built.label == task_expected.label
+            assert task_key(task_built.fn, task_built.kwargs) == task_key(
+                task_expected.fn, task_expected.kwargs
+            )
+
+    def test_fig08_fanout_equality(self):
+        """The Figure 8 grid: workloads x (lineup + bandit), per-point
+        hierarchy, exactly as fig08_singlecore hand-enumerated it."""
+        workloads = ("milc06", "cactus06")
+        params = PREFETCH_BANDIT_CONFIG
+        spec = MatrixSpec.build(axes={
+            "workload": workloads,
+            "scenario": PREFETCHER_LINEUP + ("bandit",),
+        })
+        built = prefetch_matrix_tasks(
+            spec, trace_length=5000, seed=0,
+            params_for=lambda point: params,
+            hierarchy_for=lambda point: BASELINE_HIERARCHY_CONFIG,
+            label_prefix="fig08",
+        )
+        expected = []
+        for workload in workloads:
+            expected.extend(
+                Task(
+                    fixed_prefetcher_task,
+                    dict(spec_name=workload, trace_length=5000, seed=0,
+                         prefetcher_name=name,
+                         hierarchy_config=BASELINE_HIERARCHY_CONFIG),
+                    label=f"fig08:{workload}:{name}",
+                )
+                for name in PREFETCHER_LINEUP
+            )
+            expected.append(Task(
+                bandit_prefetch_task,
+                dict(spec_name=workload, trace_length=5000, params=params,
+                     seed=0, hierarchy_config=BASELINE_HIERARCHY_CONFIG),
+                label=f"fig08:{workload}:bandit",
+            ))
+        self._assert_same_tasks(built, expected)
+
+    def test_table08_fanout_equality(self):
+        """The Table 8 grid: arm replays (via best_static_arm_tasks),
+        pythia, and the algorithm lineup with the scaled gamma."""
+        workload = "milc06"
+        params = PREFETCH_BANDIT_CONFIG
+        num_arms = len(best_static_arm_tasks(workload, 5000))
+        spec = MatrixSpec.build(axes={
+            "workload": (workload,),
+            "scenario": tuple(f"arm{k}" for k in range(num_arms))
+            + ("pythia",) + TABLE8_ALGORITHM_NAMES,
+        })
+
+        def label(point):
+            if str(point["scenario"]).startswith("arm"):
+                return f"{point['workload']}:{point['scenario']}"
+            return f"table08:{point['workload']}:{point['scenario']}"
+
+        built = prefetch_matrix_tasks(
+            spec, trace_length=5000, seed=0,
+            params_for=lambda point: params,
+            label_for=label,
+            hierarchy_for=lambda point: (
+                BASELINE_HIERARCHY_CONFIG
+                if str(point["scenario"]).startswith("arm") else None
+            ),
+            algorithm_gamma=SCALED_GAMMA,
+        )
+        expected = list(best_static_arm_tasks(workload, 5000, seed=0))
+        expected.append(Task(
+            fixed_prefetcher_task,
+            dict(spec_name=workload, trace_length=5000, seed=0,
+                 prefetcher_name="pythia"),
+            label=f"table08:{workload}:pythia",
+        ))
+        expected.extend(
+            Task(
+                bandit_prefetch_task,
+                dict(spec_name=workload, trace_length=5000, params=params,
+                     seed=0, algorithm_name=name,
+                     algorithm_gamma=SCALED_GAMMA),
+                label=f"table08:{workload}:{name}",
+            )
+            for name in TABLE8_ALGORITHM_NAMES
+        )
+        self._assert_same_tasks(built, expected)
+
+    def test_point_axis_overrides_trace_length_and_seed(self):
+        task = prefetch_task_for_point(
+            {"workload": "milc06", "scenario": "none",
+             "trace_length": 777, "seed": 3},
+            trace_length=5000, seed=0,
+        )
+        assert task.kwargs["trace_length"] == 777
+        assert task.kwargs["seed"] == 3
+
+    def test_bandit_scenario_without_params_rejected(self):
+        with pytest.raises(ValueError, match="needs bandit params"):
+            prefetch_task_for_point(
+                {"workload": "milc06", "scenario": "bandit"},
+                trace_length=5000,
+            )
+
+    def test_smt_arm_scenario_maps_to_mnemonic(self):
+        from repro.smt.pg_policy import BANDIT_PG_ARMS, CHOI_POLICY
+
+        task = smt_task_for_point(
+            {"workload": "gcc-lbm", "scenario": "arm2"},
+            scale="S", seed=1, label="t",
+        )
+        assert task.fn is smt_static_task
+        assert task.kwargs == dict(
+            thread_names=("gcc", "lbm"),
+            policy_mnemonic=BANDIT_PG_ARMS[2].mnemonic,
+            scale="S", seed=1,
+        )
+        choi = smt_task_for_point(
+            {"workload": "gcc-lbm", "scenario": "choi"}, scale="S"
+        )
+        assert choi.kwargs["policy_mnemonic"] == CHOI_POLICY.mnemonic
+
+    def test_default_label_formats_floats_compactly(self):
+        label = default_label(
+            "fig10", {"dram_mtps": 2400.0, "workload": "milc06",
+                      "scenario": "bandit"}
+        )
+        assert label == "fig10:2400:milc06:bandit"
+
+
+class TestRunPrefetchMatrix:
+    def test_end_to_end_rows(self):
+        spec = MatrixSpec.build(axes={
+            "workload": ("milc06",),
+            "scenario": ("stride", "bandit"),
+        })
+        rows = run_prefetch_matrix(spec, trace_length=1200)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.ipc > 0
+            assert row.base_ipc > 0
+            assert row.normalized_ipc == pytest.approx(
+                row.ipc / row.base_ipc
+            )
+        assert rows[0].point == (
+            ("workload", "milc06"), ("scenario", "stride"),
+        )
+
+    def test_dram_mtps_axis_builds_per_point_hierarchy(self):
+        spec = MatrixSpec.build(axes={
+            "dram_mtps": (600.0, 2400.0),
+            "workload": ("milc06",),
+            "scenario": ("pythia",),
+        })
+        rows = run_prefetch_matrix(spec, trace_length=1200)
+        assert len(rows) == 2
+        # Lower DRAM bandwidth must not yield a faster baseline replay.
+        low, high = rows[0], rows[1]
+        assert low.point[0] == ("dram_mtps", 600.0)
+        assert low.base_ipc <= high.base_ipc

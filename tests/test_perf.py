@@ -162,6 +162,78 @@ class TestBenchmarkStats:
         assert any("REGRESSION" in line for line in lines)
 
 
+class TestSignificanceGate:
+    """The variance-aware gate: max(tolerance, k·stddev) of slack."""
+
+    def _noisy_base(self, tmp_path):
+        # 2% fixed tolerance but stddev 0.5s on a 10s mean: the 3σ band
+        # (11.5s) is far wider than the ratio limit (10.2s).
+        return _bench_json_full(
+            tmp_path / "base.json",
+            {"fig08": {"mean": 10.0, "stddev": 0.5, "rounds": 5}},
+        )
+
+    def test_regression_within_noise_band_passes(self, tmp_path):
+        base = self._noisy_base(tmp_path)
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 11.4})
+        ok, lines = compare_benchmarks(
+            base, cur, max_regression=0.02, stddev_k=3.0
+        )
+        assert ok
+        assert not any("REGRESSION" in line for line in lines)
+
+    def test_regression_beyond_noise_band_fails(self, tmp_path):
+        base = self._noisy_base(tmp_path)
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 11.6})
+        ok, lines = compare_benchmarks(
+            base, cur, max_regression=0.02, stddev_k=3.0
+        )
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_report_prints_effective_limit(self, tmp_path):
+        """The per-benchmark line shows the widened (significance) limit."""
+        base = self._noisy_base(tmp_path)
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 10.0})
+        _, lines = compare_benchmarks(
+            base, cur, max_regression=0.02, stddev_k=3.0
+        )
+        assert any("limit 1.15x" in line for line in lines)
+
+    def test_tolerance_still_floors_tight_baselines(self, tmp_path):
+        """A tiny stddev never *shrinks* the gate below max_regression."""
+        base = _bench_json_full(
+            tmp_path / "base.json",
+            {"fig08": {"mean": 10.0, "stddev": 0.002, "rounds": 5}},
+        )
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 11.5})
+        ok, _ = compare_benchmarks(
+            base, cur, max_regression=0.20, stddev_k=3.0
+        )
+        assert ok
+
+    def test_single_round_baseline_ignores_stddev_slack(self, tmp_path):
+        """rounds=1 baselines gate on the bare ratio (stddev is bogus)."""
+        base = _bench_json_full(
+            tmp_path / "base.json",
+            {"fig08": {"mean": 10.0, "stddev": 5.0, "rounds": 1}},
+        )
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 13.0})
+        ok, lines = compare_benchmarks(
+            base, cur, max_regression=0.20, stddev_k=3.0
+        )
+        assert not ok
+        assert any("single-round" in line for line in lines)
+
+    def test_stddev_k_cli_flag(self, tmp_path):
+        base = self._noisy_base(tmp_path)
+        cur = _bench_json(tmp_path / "cur.json", {"fig08": 11.4})
+        argv = ["--baseline", str(base), "--current", str(cur),
+                "--max-regression", "0.02"]
+        assert main(argv) == 0  # default k=3 → 11.5s limit
+        assert main(argv + ["--stddev-k", "1"]) == 1  # 10.5s limit
+
+
 class TestHistoryReport:
     def _trajectory(self, tmp_path):
         early = tmp_path / "BENCH_PR3.json"
@@ -187,6 +259,28 @@ class TestHistoryReport:
         assert lines[0].startswith("BENCH_PR3.json")
         assert any(line.startswith("BENCH_PR8.json") for line in lines)
         assert lines.index("BENCH_PR3.json:") < lines.index("BENCH_PR8.json:")
+
+    def test_two_digit_pr_sorts_numerically(self, tmp_path):
+        """Regression: lexicographic ordering put BENCH_PR10 before
+        BENCH_PR3, scrambling the trajectory at the first two-digit PR."""
+        for pr in (10, 3, 6):
+            (tmp_path / f"BENCH_PR{pr}.json").write_text(json.dumps({
+                "benchmarks": [{"name": "fig08", "stats": {"mean": 1.0}}],
+            }))
+        lines = history_report(sorted(tmp_path.glob("BENCH_PR*.json")))
+        blocks = [line for line in lines if line.endswith(":")]
+        assert blocks == [
+            "BENCH_PR3.json:", "BENCH_PR6.json:", "BENCH_PR10.json:",
+        ]
+
+    def test_nonconforming_names_follow_in_natural_order(self, tmp_path):
+        for name in ("BENCH_PR4.json", "bench-run10.json", "bench-run2.json"):
+            (tmp_path / name).write_text(json.dumps({"benchmarks": []}))
+        lines = history_report(sorted(tmp_path.glob("*.json")))
+        blocks = [line for line in lines if line.endswith(":")]
+        assert blocks == [
+            "BENCH_PR4.json:", "bench-run2.json:", "bench-run10.json:",
+        ]
 
     def test_reports_speedup_spread_and_variance_caveat(self, tmp_path):
         early, late = self._trajectory(tmp_path)
